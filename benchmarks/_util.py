@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment bench:
+
+* builds its workloads with fixed seeds (bit-reproducible tables),
+* produces a :class:`repro.analysis.Table` with the paper-style rows,
+* prints the table and writes it under ``benchmarks/results/`` so
+  EXPERIMENTS.md can quote the exact artifact,
+* asserts the *shape* claims (who wins, growth class, bounds hold) —
+  absolute values are machine-dependent and never asserted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(table: Table, name: str) -> Table:
+    """Print a table and persist it to ``benchmarks/results/<name>.txt``."""
+    text = table.render()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    return table
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

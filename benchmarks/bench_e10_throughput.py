@@ -1,0 +1,86 @@
+"""E10 — Engineering: throughput of the simulator and solvers.
+
+The paper's headline practical claim is that its rounding is "easy to
+implement and very efficient" (Section 1.2) — unlike the prior
+distribution-over-caches roundings.  This bench measures requests/second
+for each component and checks the heap water-filling variant's
+advantage on large caches.
+
+These are genuine pytest-benchmark timings (multiple rounds), not
+single-shot experiment tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    FractionalMultiLevelSolver,
+    HeapWaterFillingPolicy,
+    LRUPolicy,
+    RandomizedWeightedPagingPolicy,
+    WaterFillingPolicy,
+)
+from repro.core.instance import WeightedPagingInstance
+from repro.sim import simulate
+from repro.workloads import sample_weights, zipf_stream
+
+N_PAGES, K, STREAM_LEN = 400, 64, 4000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    inst = WeightedPagingInstance(K, sample_weights(N_PAGES, rng=0, high=64.0))
+    seq = zipf_stream(N_PAGES, STREAM_LEN, alpha=0.9, rng=1)
+    return inst, seq
+
+
+def test_throughput_lru(benchmark, workload):
+    inst, seq = workload
+    benchmark(lambda: simulate(inst, seq, LRUPolicy(), validate=False))
+
+
+def test_throughput_waterfilling_reference(benchmark, workload):
+    inst, seq = workload
+    benchmark(lambda: simulate(inst, seq, WaterFillingPolicy(), validate=False))
+
+
+def test_throughput_waterfilling_heap(benchmark, workload):
+    inst, seq = workload
+    benchmark(lambda: simulate(inst, seq, HeapWaterFillingPolicy(), validate=False))
+
+
+def test_throughput_fractional_solver(benchmark, workload):
+    inst, seq = workload
+    solver = FractionalMultiLevelSolver(inst)
+    benchmark(lambda: solver.solve(seq))
+
+
+def test_throughput_randomized_rounding(benchmark, workload):
+    inst, seq = workload
+    benchmark(
+        lambda: simulate(
+            inst, seq, RandomizedWeightedPagingPolicy(), seed=0, validate=False
+        )
+    )
+
+
+def test_throughput_simulator_validation_overhead(benchmark, workload):
+    inst, seq = workload
+    benchmark(lambda: simulate(inst, seq, LRUPolicy(), validate=True))
+
+
+def test_throughput_stack_distances(benchmark, workload):
+    from repro.sim import stack_distances
+
+    _, seq = workload
+    benchmark(lambda: stack_distances(seq.pages))
+
+
+def test_throughput_full_mrc(benchmark, workload):
+    # The whole LRU miss-ratio curve (all cache sizes 1..K) in one pass.
+    from repro.sim import lru_miss_curve
+
+    _, seq = workload
+    benchmark(lambda: lru_miss_curve(seq, max_k=K))

@@ -1,0 +1,88 @@
+"""E3 — Section 4.3: the distribution-free rounding loses O(log k).
+
+Claim reproduced: the rounded integral cost is within O(beta) = O(log k)
+of the fractional solver's cost, for both Algorithm 1 (weighted paging)
+and Algorithm 2 (multi-level).  The overhead factor should grow no
+faster than log k and in practice hover around a small multiple of 1.
+
+Rows: k, mean rounded cost over seeds, fractional z-cost, overhead
+factor, beta.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms import (
+    RandomizedMultiLevelPolicy,
+    RandomizedWeightedPagingPolicy,
+)
+from repro.analysis import Table, fit_growth
+from repro.core.instance import WeightedPagingInstance
+from repro.sim import simulate
+from repro.workloads import (
+    multilevel_stream,
+    random_multilevel_instance,
+    sample_weights,
+    zipf_stream,
+)
+
+from _util import emit, once
+
+KS = [2, 4, 8, 16, 32]
+SEEDS = 5
+STREAM_LEN = 900
+
+
+def run_experiment() -> tuple[Table, list[float], list[float]]:
+    table = Table(
+        ["k", "variant", "rounded (mean)", "fractional z", "overhead", "beta"],
+        title="E3: rounding overhead vs fractional cost",
+    )
+    overheads_w: list[float] = []
+    overheads_ml: list[float] = []
+    for k in KS:
+        n = 3 * k
+        # Algorithm 1 on weighted paging.
+        inst = WeightedPagingInstance(k, sample_weights(n, rng=k, high=16.0))
+        seq = zipf_stream(n, STREAM_LEN, alpha=0.9, rng=300 + k)
+        runs = [
+            simulate(inst, seq, RandomizedWeightedPagingPolicy(), seed=s)
+            for s in range(SEEDS)
+        ]
+        frac = runs[0].extra["fractional_z_cost"]
+        beta = runs[0].extra["beta"]
+        mean_cost = float(np.mean([r.cost for r in runs]))
+        overheads_w.append(mean_cost / max(frac, 1e-9))
+        table.add_row(k, "alg1 (l=1)", mean_cost, frac, overheads_w[-1], beta)
+
+        # Algorithm 2 on a two-level instance.
+        inst2 = random_multilevel_instance(n, k, 2, rng=k)
+        seq2 = multilevel_stream(n, 2, STREAM_LEN, rng=400 + k)
+        runs2 = [
+            simulate(inst2, seq2, RandomizedMultiLevelPolicy(), seed=s)
+            for s in range(SEEDS)
+        ]
+        frac2 = runs2[0].extra["fractional_z_cost"]
+        mean2 = float(np.mean([r.cost for r in runs2]))
+        overheads_ml.append(mean2 / max(frac2, 1e-9))
+        table.add_row(k, "alg2 (l=2)", mean2, frac2, overheads_ml[-1], beta)
+    return table, overheads_w, overheads_ml
+
+
+def test_e3_rounding(benchmark):
+    table, over_w, over_ml = once(benchmark, run_experiment)
+    emit(table, "e3_rounding")
+    for k, ow, oml in zip(KS, over_w, over_ml):
+        beta = 4.0 * max(1.0, math.log(k))
+        # The theorem: expected overhead O(beta); assert a generous 2*beta.
+        assert ow <= 2.0 * beta, f"alg1 k={k}: overhead {ow} vs beta {beta}"
+        assert oml <= 2.0 * beta, f"alg2 k={k}: overhead {oml} vs beta {beta}"
+    fit = fit_growth(KS, over_w)
+    assert fit.best_shape != "k", f"rounding overhead linear in k? {fit.residuals}"
+
+
+if __name__ == "__main__":
+    emit(run_experiment()[0], "e3_rounding")

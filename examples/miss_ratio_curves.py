@@ -1,0 +1,54 @@
+"""Miss-ratio curves: LRU vs MIN for every cache size in one pass.
+
+Uses the library's stack-distance engine (Fenwick-tree based, O(T log T))
+to produce the full LRU miss-ratio curve of a trace, alongside Belady's
+clairvoyant MIN — the standard capacity-planning view of a cache
+workload.  Also demonstrates the LOOP pathology: LRU flat-lines at 100%
+misses until the cache fits the whole loop, while MIN degrades
+gracefully.
+
+Run:  python examples/miss_ratio_curves.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.sim import lru_miss_curve, opt_miss_curve
+from repro.workloads import loop_stream, mixture_stream, zipf_stream
+
+
+def curve_table(title: str, seq, max_k: int) -> Table:
+    lru = lru_miss_curve(seq, max_k)
+    opt = opt_miss_curve(seq, max_k)
+    table = Table(["k", "LRU miss %", "MIN miss %", "LRU/MIN"], title=title)
+    for k in range(1, max_k + 1):
+        table.add_row(
+            k,
+            100.0 * lru[k - 1] / len(seq),
+            100.0 * opt[k - 1] / len(seq),
+            lru[k - 1] / max(opt[k - 1], 1),
+        )
+    return table
+
+
+def main() -> None:
+    # A Zipf workload: LRU tracks MIN within a small factor everywhere.
+    zipf = zipf_stream(64, 20_000, alpha=1.0, rng=0)
+    print(curve_table("Zipf(1.0), 64 pages", zipf, max_k=12))
+
+    # The LOOP pathology: a loop of 10 pages mixed with light noise.
+    loop = loop_stream(64, 20_000, loop_size=10, jitter=0.05, rng=1)
+    print(curve_table("LOOP(10) + 5% noise", loop, max_k=12))
+
+    print(
+        "On the loop workload LRU stays near 100% misses until k reaches\n"
+        "the loop size, while MIN already hits with k-1 loop pages -- the\n"
+        "gap that motivates scan-resistant and clairvoyant-approximating\n"
+        "policies."
+    )
+
+
+if __name__ == "__main__":
+    main()

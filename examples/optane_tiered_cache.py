@@ -1,0 +1,66 @@
+"""Multi-granularity caching, modeled on the paper's Optane SSD example.
+
+Intel's Optane SSD can serve requests at several granularities: fetching
+an aligned 4 KB chunk (expensive) serves reads of any of its sectors,
+while fetching a single sector (cheap) serves only that sector.  This is
+the paper's multi-level paging with ``l = 2``: the chunk copy is level 1,
+the sector copy level 2, and the cache may hold at most one copy per
+chunk.
+
+The experiment sweeps the fraction of whole-chunk reads and shows how the
+paper's algorithms adapt the granularity mix, against LRU which treats
+all copies alike.
+
+Run:  python examples/optane_tiered_cache.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import (
+    LRUPolicy,
+    RandomizedMultiLevelPolicy,
+    WaterFillingPolicy,
+)
+from repro.analysis import Table
+from repro.core.instance import MultiLevelInstance
+from repro.sim import simulate
+from repro.workloads import optane_stream
+
+
+def main() -> None:
+    n_chunks, k = 128, 24
+    # Chunk copy costs 8 (eight sectors' worth of bandwidth), sector 1.
+    weights = np.tile([8.0, 1.0], (n_chunks, 1))
+    instance = MultiLevelInstance(k, weights, name="optane(l=2)")
+    print(f"instance: {instance}\n")
+
+    table = Table(
+        ["chunk-read %", "policy", "cost", "hit rate", "chunk copies held"],
+        title="Optane chunk/sector cache",
+    )
+    for chunk_fraction in [0.05, 0.25, 0.6]:
+        stream = optane_stream(
+            n_chunks, 20_000, chunk_read_fraction=chunk_fraction,
+            alpha=0.9, rng=5,
+        )
+        for policy in [LRUPolicy(), WaterFillingPolicy(),
+                       RandomizedMultiLevelPolicy()]:
+            result = simulate(instance, stream, policy, seed=1)
+            chunks_held = sum(1 for lvl in result.final_cache.values() if lvl == 1)
+            table.add_row(
+                f"{chunk_fraction:.0%}", policy.name, result.cost,
+                result.hit_rate, chunks_held,
+            )
+    print(table)
+    print(
+        "As whole-chunk reads become common, the multi-level-aware policies\n"
+        "shift the cache toward level-1 (chunk) copies; with rare chunk\n"
+        "reads they hold cheap sector copies instead, spending the same\n"
+        "k slots very differently."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""A database buffer pool with expensive writebacks.
+
+The scenario the paper's writeback-aware model captures: an OLTP-style
+buffer pool where a small set of hot index pages attracts nearly all
+writes.  Evicting a dirty page forces a writeback (cost ``w1 >> w2``);
+a dirty-oblivious policy (plain LRU) keeps recycling dirty pages, while
+the paper's algorithms — run through the Lemma 2.1 RW-paging reduction —
+treat dirtiness as a first-class cost.
+
+Run:  python examples/writeback_buffer_pool.py
+"""
+
+from __future__ import annotations
+
+from repro import WritebackInstance
+from repro.algorithms import (
+    RandomizedMultiLevelPolicy,
+    RWAdapterPolicy,
+    WaterFillingPolicy,
+    WBLandlordPolicy,
+    WBLRUPolicy,
+)
+from repro.analysis import Table
+from repro.sim import simulate_writeback
+from repro.workloads import hot_writer_stream
+
+
+def main() -> None:
+    # 256 pages, 48-page pool; a writeback costs 24x a clean drop.
+    instance = WritebackInstance.uniform(
+        n_pages=256, cache_size=48, dirty_cost=24.0, clean_cost=1.0
+    )
+    # 15% of pages are hot and write-heavy; reads follow a Zipf law.
+    stream = hot_writer_stream(
+        256, 30_000, hot_fraction=0.15, hot_write_prob=0.7,
+        cold_write_prob=0.01, alpha=0.9, rng=11,
+    )
+    print(f"instance: {instance}")
+    print(f"stream:   {stream}\n")
+
+    policies = [
+        WBLRUPolicy(),                                   # dirty-oblivious
+        WBLandlordPolicy(),                              # dirty-aware heuristic
+        RWAdapterPolicy(WaterFillingPolicy()),           # paper det. O(k)
+        RWAdapterPolicy(RandomizedMultiLevelPolicy()),   # paper rand. O(log^2 k)
+    ]
+    table = Table(
+        ["policy", "total cost", "writebacks paid", "hit rate"],
+        title="buffer pool, hot-writer workload",
+    )
+    for policy in policies:
+        result = simulate_writeback(instance, stream, policy, seed=3,
+                                    record_events=True)
+        writebacks = sum(1 for e in result.events if e.level == 1)
+        table.add_row(policy.name, result.cost, writebacks, result.hit_rate)
+    print(table)
+    print(
+        "Reading the table: the adapters keep dirty-hot pages resident, so\n"
+        "they pay far fewer writebacks than dirty-oblivious LRU at a\n"
+        "similar hit rate — the behavior Theorem 1.1/1.2 formalizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

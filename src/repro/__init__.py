@@ -1,0 +1,60 @@
+"""repro — a reproduction of "Efficient Online Weighted Multi-Level Paging".
+
+Bansal, Naor, Talmon (SPAA 2021) study writeback-aware caching, RW-paging
+and weighted multi-level paging.  This package implements:
+
+* every problem model of the paper (:mod:`repro.core`),
+* the O(k)-competitive deterministic water-filling algorithm (Section 4.1),
+* the O(log k)-competitive deterministic fractional algorithm (Section 4.2),
+* the distribution-free online rounding (Section 4.3, Algorithms 1 and 2)
+  and the composed O(log^2 k) randomized algorithm,
+* the Lemma 2.1 writeback <-> RW-paging reduction,
+* the Section 3 set-cover lower-bound construction,
+* offline optima (exact DP and LP relaxation), classical baselines,
+  workload generators, a verifying simulator and an experiment harness.
+
+Quick start::
+
+    import numpy as np
+    from repro import WeightedPagingInstance, RequestSequence
+    from repro.algorithms import LRUPolicy
+    from repro.sim import simulate
+
+    inst = WeightedPagingInstance(cache_size=4, weights=np.ones(16))
+    seq = RequestSequence.from_pages([0, 1, 2, 3, 4, 0, 1, 2, 3, 4])
+    result = simulate(inst, seq, LRUPolicy())
+    print(result.cost, result.hit_rate)
+"""
+
+from repro.core import (
+    CostLedger,
+    MultiLevelCache,
+    MultiLevelInstance,
+    Request,
+    RequestSequence,
+    RWPagingInstance,
+    WBRequest,
+    WBRequestSequence,
+    WeightedPagingInstance,
+    WritebackCache,
+    WritebackInstance,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostLedger",
+    "MultiLevelCache",
+    "MultiLevelInstance",
+    "Request",
+    "RequestSequence",
+    "RWPagingInstance",
+    "WBRequest",
+    "WBRequestSequence",
+    "WeightedPagingInstance",
+    "WritebackCache",
+    "WritebackInstance",
+    "ReproError",
+    "__version__",
+]

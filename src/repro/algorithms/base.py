@@ -1,0 +1,119 @@
+"""Policy protocol and registry.
+
+A :class:`Policy` is an online algorithm for multi-level paging (weighted
+paging and RW-paging are the ``l = 1`` / ``l = 2`` cases).  The simulator
+owns the authoritative :class:`~repro.core.cache.MultiLevelCache` and calls
+:meth:`Policy.serve` on **every** request — including hits — because
+fractional-state policies (the paper's randomized algorithm) move even when
+the integral cache already serves the request.  After ``serve`` returns, the
+simulator verifies that the request is served and that all cache invariants
+hold.
+
+:class:`WritebackPolicy` is the analogous protocol for writeback-aware
+caching; the simulator marks the page dirty after a served write.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.cache import MultiLevelCache, WritebackCache
+from repro.core.instance import MultiLevelInstance, WritebackInstance
+
+__all__ = ["Policy", "WritebackPolicy", "register_policy", "policy_registry"]
+
+
+class Policy(ABC):
+    """Base class for online multi-level paging policies."""
+
+    #: Short name used in reports and tables.
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self.instance: MultiLevelInstance | None = None
+        self.cache: MultiLevelCache | None = None
+        self.rng: np.random.Generator | None = None
+
+    def bind(
+        self,
+        instance: MultiLevelInstance,
+        cache: MultiLevelCache,
+        rng: np.random.Generator,
+    ) -> None:
+        """Attach the policy to a fresh simulation run.
+
+        Subclasses overriding this must call ``super().bind(...)`` and then
+        (re)initialize all per-run state — ``bind`` is the reset point.
+        """
+        self.instance = instance
+        self.cache = cache
+        self.rng = rng
+
+    @abstractmethod
+    def serve(self, t: int, page: int, level: int) -> None:
+        """Handle the request ``(page, level)`` arriving at time ``t``.
+
+        Called on every request.  On return the cache must serve the
+        request: some copy ``(page, j)`` with ``j <= level`` is cached.
+        """
+
+    def extras(self) -> dict[str, float]:
+        """Per-run extra metrics merged into ``RunResult.extra``.
+
+        Composed policies report internal quantities here (e.g. the
+        fractional solver's cost alongside the rounded integral cost).
+        """
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class WritebackPolicy(ABC):
+    """Base class for online writeback-aware caching policies."""
+
+    #: Short name used in reports and tables.
+    name: str = "wb-policy"
+
+    def __init__(self) -> None:
+        self.instance: WritebackInstance | None = None
+        self.cache: WritebackCache | None = None
+        self.rng: np.random.Generator | None = None
+
+    def bind(
+        self,
+        instance: WritebackInstance,
+        cache: WritebackCache,
+        rng: np.random.Generator,
+    ) -> None:
+        """Attach the policy to a fresh simulation run (the reset point)."""
+        self.instance = instance
+        self.cache = cache
+        self.rng = rng
+
+    @abstractmethod
+    def serve(self, t: int, page: int, is_write: bool) -> None:
+        """Handle the request arriving at time ``t``.
+
+        Called on every request.  On return ``page`` must be cached; the
+        simulator marks it dirty afterwards when ``is_write``.
+        """
+
+    def extras(self) -> dict[str, float]:
+        """Per-run extra metrics merged into ``RunResult.extra``."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Global name -> factory registry for benchmark/CLI lookups.
+policy_registry: dict[str, type] = {}
+
+
+def register_policy(cls):
+    """Class decorator adding a policy class to :data:`policy_registry`."""
+    policy_registry[cls.name] = cls
+    return cls

@@ -1,0 +1,171 @@
+"""Classical paging baselines lifted to multi-level instances.
+
+LRU, FIFO, random eviction, and (deterministic / randomized) marking.  All
+ignore weights — they are the dirty/weight-oblivious comparators every
+experiment measures the paper's algorithms against.
+
+Lifting to multi-level: a request ``(p, i)`` that finds a cached copy of
+``p`` at a *lower* level ``j > i`` upgrades the copy in place (paying the
+eviction of ``(p, j)``, per the one-copy-per-page rule); a clean miss evicts
+whole pages by the policy's usual rule and fetches ``(p, i)``.  With
+``l = 1`` each policy is exactly its textbook self.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.algorithms.base import Policy, register_policy
+
+__all__ = [
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomEvictionPolicy",
+    "MarkingPolicy",
+    "RandomizedMarkingPolicy",
+]
+
+
+class _EvictingPolicy(Policy):
+    """Shared serve() skeleton: hit / upgrade / evict-then-fetch."""
+
+    def serve(self, t: int, page: int, level: int) -> None:
+        cache = self.cache
+        current = cache.level_of(page)
+        if current is not None:
+            if current <= level:
+                self._on_hit(t, page)
+            else:
+                cache.replace(page, level, reason="upgrade")
+                self._on_fetch(t, page)
+            return
+        while cache.is_full:
+            victim = self._choose_victim(t, page)
+            cache.evict(victim, reason="capacity")
+            self._on_evicted(victim)
+        cache.fetch(page, level)
+        self._on_fetch(t, page)
+
+    # -- hooks ---------------------------------------------------------------
+    def _on_hit(self, t: int, page: int) -> None:
+        """Called when the cached copy already serves the request."""
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        """Called after the requested copy enters (or upgrades in) the cache."""
+
+    def _on_evicted(self, page: int) -> None:
+        """Called after this policy's own eviction of ``page``."""
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        """Return the cached page to evict (requested page is not cached)."""
+        raise NotImplementedError
+
+
+@register_policy
+class LRUPolicy(_EvictingPolicy):
+    """Least-recently-used eviction (k-competitive for unweighted paging)."""
+
+    name = "lru"
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._recency: OrderedDict[int, None] = OrderedDict()
+
+    def _touch(self, page: int) -> None:
+        self._recency.pop(page, None)
+        self._recency[page] = None
+
+    def _on_hit(self, t: int, page: int) -> None:
+        self._touch(page)
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        self._touch(page)
+
+    def _on_evicted(self, page: int) -> None:
+        self._recency.pop(page, None)
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        return next(iter(self._recency))
+
+
+@register_policy
+class FIFOPolicy(_EvictingPolicy):
+    """First-in-first-out eviction; upgrades do not refresh insertion age."""
+
+    name = "fifo"
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._queue: OrderedDict[int, None] = OrderedDict()
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        if page not in self._queue:
+            self._queue[page] = None
+
+    def _on_evicted(self, page: int) -> None:
+        self._queue.pop(page, None)
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        return next(iter(self._queue))
+
+
+@register_policy
+class RandomEvictionPolicy(_EvictingPolicy):
+    """Uniform random eviction — the memoryless baseline."""
+
+    name = "random"
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        pages = list(self.cache.pages())
+        return pages[int(self.rng.integers(0, len(pages)))]
+
+
+class _BaseMarking(_EvictingPolicy):
+    """Phase-based marking: evict only unmarked pages, new phase when none."""
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._marked: set[int] = set()
+
+    def _on_hit(self, t: int, page: int) -> None:
+        self._marked.add(page)
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        self._marked.add(page)
+
+    def _on_evicted(self, page: int) -> None:
+        self._marked.discard(page)
+
+    def _unmarked_cached(self) -> list[int]:
+        return [p for p in self.cache.pages() if p not in self._marked]
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        unmarked = self._unmarked_cached()
+        if not unmarked:
+            # Phase ends: every cached page is marked; unmark and restart.
+            self._marked.clear()
+            unmarked = list(self.cache.pages())
+        return self._pick(unmarked)
+
+    def _pick(self, unmarked: list[int]) -> int:
+        raise NotImplementedError
+
+
+@register_policy
+class MarkingPolicy(_BaseMarking):
+    """Deterministic marking (evicts the first unmarked page)."""
+
+    name = "marking"
+
+    def _pick(self, unmarked: list[int]) -> int:
+        return unmarked[0]
+
+
+@register_policy
+class RandomizedMarkingPolicy(_BaseMarking):
+    """Fiat et al.'s randomized marking: Theta(log k) for unweighted paging."""
+
+    name = "randomized-marking"
+
+    def _pick(self, unmarked: list[int]) -> int:
+        return unmarked[int(self.rng.integers(0, len(unmarked)))]

@@ -1,0 +1,133 @@
+"""Frequency- and recency-family baselines: LFU, CLOCK, GDSF.
+
+These round out the comparator set to what an OSS cache library ships:
+
+* :class:`LFUPolicy` — least-frequently-used (ties by recency of fetch),
+  the classic frequency-based policy;
+* :class:`ClockPolicy` — the second-chance/CLOCK approximation of LRU
+  used by real VM subsystems (one reference bit, rotating hand);
+* :class:`GDSFPolicy` — Greedy-Dual-Size-Frequency (size 1 here):
+  priority ``L + frequency * weight`` with an inflation floor ``L`` set to
+  each evicted victim's priority — the weighted+frequency hybrid deployed
+  in Squid-style web caches.
+
+All are lifted to multi-level instances with the same in-place upgrade
+rule as :mod:`repro.algorithms.classical`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.algorithms.base import register_policy
+from repro.algorithms.classical import _EvictingPolicy
+
+__all__ = ["LFUPolicy", "ClockPolicy", "GDSFPolicy"]
+
+
+@register_policy
+class LFUPolicy(_EvictingPolicy):
+    """Least-frequently-used eviction; frequency persists across upgrades."""
+
+    name = "lfu"
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._freq: dict[int, int] = {}
+        self._tick = 0
+        self._last_touch: dict[int, int] = {}
+
+    def _touch(self, page: int) -> None:
+        self._freq[page] = self._freq.get(page, 0) + 1
+        self._last_touch[page] = self._tick
+        self._tick += 1
+
+    def _on_hit(self, t: int, page: int) -> None:
+        self._touch(page)
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        self._touch(page)
+
+    def _on_evicted(self, page: int) -> None:
+        self._freq.pop(page, None)
+        self._last_touch.pop(page, None)
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        return min(
+            self.cache.pages(),
+            key=lambda q: (self._freq.get(q, 0), self._last_touch.get(q, -1)),
+        )
+
+
+@register_policy
+class ClockPolicy(_EvictingPolicy):
+    """Second-chance CLOCK: a rotating hand clears reference bits."""
+
+    name = "clock"
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._ring: OrderedDict[int, bool] = OrderedDict()  # page -> ref bit
+
+    def _on_hit(self, t: int, page: int) -> None:
+        if page in self._ring:
+            self._ring[page] = True
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        if page not in self._ring:
+            self._ring[page] = True
+
+    def _on_evicted(self, page: int) -> None:
+        self._ring.pop(page, None)
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        # Sweep: give referenced pages a second chance (move to the back
+        # with the bit cleared) until an unreferenced page comes up.
+        while True:
+            victim, referenced = next(iter(self._ring.items()))
+            if referenced:
+                del self._ring[victim]
+                self._ring[victim] = False
+            else:
+                return victim
+
+
+@register_policy
+class GDSFPolicy(_EvictingPolicy):
+    """Greedy-Dual-Size-Frequency with unit sizes.
+
+    Priority ``H(p) = L + freq(p) * w(p)``; evict the minimum-priority
+    page and raise the floor ``L`` to its priority.  Combines weight
+    awareness (like Landlord) with frequency (like LFU).
+    """
+
+    name = "gdsf"
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._L = 0.0
+        self._freq: dict[int, int] = {}
+        self._priority: dict[int, float] = {}
+
+    def _weight(self, page: int) -> float:
+        level = self.cache.level_of(page)
+        return self.instance.weight(page, level if level is not None else 1)
+
+    def _bump(self, page: int) -> None:
+        self._freq[page] = self._freq.get(page, 0) + 1
+        self._priority[page] = self._L + self._freq[page] * self._weight(page)
+
+    def _on_hit(self, t: int, page: int) -> None:
+        self._bump(page)
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        self._bump(page)
+
+    def _on_evicted(self, page: int) -> None:
+        self._freq.pop(page, None)
+        self._priority.pop(page, None)
+
+    def _choose_victim(self, t: int, page: int) -> int:
+        victim = min(self.cache.pages(), key=lambda q: self._priority[q])
+        self._L = self._priority[victim]
+        return victim

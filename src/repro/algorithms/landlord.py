@@ -1,0 +1,50 @@
+"""Landlord / greedy-dual: the classical k-competitive weighted baseline.
+
+Landlord (Young; equivalently greedy-dual for unit sizes) maintains a
+credit for each cached page, initialized to the page's weight.  On a miss
+with a full cache it lowers all credits by the minimum credit and evicts a
+zero-credit page; on a hit it restores the page's credit.  It is
+k-competitive for weighted paging and is the natural open-source comparator
+for the paper's algorithms (it is *not* writeback- or level-aware beyond
+using the weight of the currently cached copy).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Policy, register_policy
+
+__all__ = ["LandlordPolicy"]
+
+
+@register_policy
+class LandlordPolicy(Policy):
+    """Landlord with in-place level upgrades for multi-level instances."""
+
+    name = "landlord"
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._credit: dict[int, float] = {}
+
+    def serve(self, t: int, page: int, level: int) -> None:
+        cache = self.cache
+        current = cache.level_of(page)
+        if current is not None:
+            if current <= level:
+                # Hit: restore credit to the cached copy's full weight.
+                self._credit[page] = self.instance.weight(page, current)
+            else:
+                cache.replace(page, level, reason="upgrade")
+                self._credit[page] = self.instance.weight(page, level)
+            return
+        while cache.is_full:
+            delta = min(self._credit[q] for q in cache.pages())
+            victim = None
+            for q in cache.pages():
+                self._credit[q] -= delta
+                if victim is None and self._credit[q] <= 1e-12:
+                    victim = q
+            cache.evict(victim, reason="capacity")
+            self._credit.pop(victim, None)
+        cache.fetch(page, level)
+        self._credit[page] = self.instance.weight(page, level)

@@ -1,0 +1,56 @@
+"""Fractional-state quantization (Lemma 4.5).
+
+The rounding analysis needs the fractional solution to move on a grid:
+every ``x_p(t)`` (here: every prefix value ``u(p, i, t)``) is an integer
+multiple of ``delta = 1 / (4k)``, losing at most a factor of two in cost.
+
+Rounding *up* to the grid preserves every property the rounding algorithm
+relies on:
+
+* covering — ``sum_p u(p, l) >= n - k`` (each term only grows);
+* monotone prefixes — ``u(p, i-1) >= u(p, i)`` (ceiling is monotone);
+* served requests — exact zeros stay zero;
+* the box — values are capped at 1 (which is itself a grid point since
+  ``4k * delta = 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import MultiLevelInstance
+
+__all__ = ["default_delta", "quantize_state", "movement_cost"]
+
+_FP_SLACK = 1e-9
+
+
+def default_delta(instance: MultiLevelInstance) -> float:
+    """The paper's grid pitch ``delta = 1 / (4k)``."""
+    return 1.0 / (4.0 * instance.cache_size)
+
+
+def quantize_state(u: np.ndarray, delta: float) -> np.ndarray:
+    """Snap a prefix state ``u`` up to multiples of ``delta``, capped at 1.
+
+    ``delta`` must divide 1 (``1 / delta`` integral) so that the cap stays
+    on the grid.
+    """
+    if delta <= 0 or delta > 1:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    inv = 1.0 / delta
+    if abs(inv - round(inv)) > 1e-6:
+        raise ValueError(f"1/delta must be integral, got 1/{delta} = {inv}")
+    q = np.ceil(u / delta - _FP_SLACK) * delta
+    return np.minimum(np.maximum(q, 0.0), 1.0)
+
+
+def movement_cost(
+    u_prev: np.ndarray, u_new: np.ndarray, weights: np.ndarray
+) -> float:
+    """LP-objective (z) cost of moving from ``u_prev`` to ``u_new``.
+
+    Charges ``w(p, i)`` per unit *increase* of ``u(p, i)`` — decreases
+    (fetching) are free, matching the paper's LP.
+    """
+    return float((np.maximum(u_new - u_prev, 0.0) * weights).sum())

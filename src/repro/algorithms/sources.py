@@ -1,0 +1,162 @@
+"""Fractional-solution sources for the online rounding.
+
+The paper emphasizes that its rounding "is independent of the way the
+fractional solution is generated" (Section 4.3).  This module makes that
+pluggable: the rounding policies consume a :class:`FractionalSource`,
+which is either
+
+* :class:`SolverSource` — the paper's online fractional algorithm
+  (Section 4.2), the default; or
+* :class:`TrajectorySource` — any precomputed fractional trajectory, e.g.
+  the *offline LP optimum*, replayed step by step.  Rounding the offline
+  optimum online demonstrates the Theorem 1.4 discussion: the rounding
+  layer alone determines the loss over the fractional cost.
+
+Trajectories produced by arbitrary LPs may *prefetch* (decrease ``u`` of
+pages other than the requested one), which the local rounding rule cannot
+consume — the paper's WLOG assumes fractional fetches happen only for the
+requested page.  :func:`lazify_trajectory` enforces that WLOG explicitly:
+fetches of non-requested pages are deferred to their next request, which
+never increases the movement cost (fetching is free and deferring an
+eviction's reversal only removes movement).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.instance import MultiLevelInstance
+from repro.core.requests import RequestSequence
+from repro.errors import InfeasibleError, InvalidRequestError
+
+__all__ = [
+    "FractionalSource",
+    "SolverSource",
+    "TrajectorySource",
+    "lazify_trajectory",
+]
+
+
+class FractionalSource(ABC):
+    """A step-by-step supplier of fractional prefix states ``u``."""
+
+    @abstractmethod
+    def reset(self, instance: MultiLevelInstance) -> None:
+        """Prepare for a fresh run on ``instance``."""
+
+    @abstractmethod
+    def step(self, t: int, page: int, level: int) -> tuple[float, float]:
+        """Advance past request ``t``; returns ``(z_cost, y_cost)``."""
+
+    @property
+    @abstractmethod
+    def u(self) -> np.ndarray:
+        """Current ``(n, l)`` prefix state (a copy)."""
+
+
+class SolverSource(FractionalSource):
+    """The Section 4.2 online fractional solver as a source (default)."""
+
+    def __init__(self, *, eta: float | None = None) -> None:
+        self._eta = eta
+        self._solver = None
+
+    def reset(self, instance: MultiLevelInstance) -> None:
+        from repro.algorithms.fractional import FractionalMultiLevelSolver
+
+        self._solver = FractionalMultiLevelSolver(instance, eta=self._eta)
+
+    def step(self, t: int, page: int, level: int) -> tuple[float, float]:
+        step = self._solver.step(page, level)
+        return step.z_cost, step.y_cost
+
+    @property
+    def u(self) -> np.ndarray:
+        return self._solver.u
+
+
+class TrajectorySource(FractionalSource):
+    """Replay a precomputed fractional trajectory ``u[(T+1), n, l]``.
+
+    ``u[0]`` must be the initial all-ones state; ``u[t + 1]`` the state
+    after request ``t``.  Each step verifies that the state actually
+    serves the request (``u[t+1, p_t, i_t - 1] == 0``) and reports the
+    z / y movement costs of the transition.
+    """
+
+    def __init__(self, trajectory: np.ndarray, *, lazy: bool = False,
+                 seq: RequestSequence | None = None) -> None:
+        traj = np.asarray(trajectory, dtype=np.float64)
+        if traj.ndim != 3:
+            raise InvalidRequestError(
+                f"trajectory must be (T+1, n, l), got shape {traj.shape}"
+            )
+        if lazy:
+            if seq is None:
+                raise InvalidRequestError("lazy=True requires the request sequence")
+            traj = lazify_trajectory(traj, seq)
+        self._traj = traj
+        self._t = 0
+        self._weights: np.ndarray | None = None
+
+    def reset(self, instance: MultiLevelInstance) -> None:
+        n, l = instance.n_pages, instance.n_levels
+        if self._traj.shape[1:] != (n, l):
+            raise InvalidRequestError(
+                f"trajectory shape {self._traj.shape[1:]} does not match "
+                f"instance (n={n}, l={l})"
+            )
+        self._weights = instance.weights
+        self._t = 0
+
+    def step(self, t: int, page: int, level: int) -> tuple[float, float]:
+        if self._t + 1 >= self._traj.shape[0]:
+            raise InfeasibleError("trajectory exhausted before the sequence ended")
+        prev = self._traj[self._t]
+        new = self._traj[self._t + 1]
+        self._t += 1
+        if new[page, level - 1] > 1e-6:
+            raise InfeasibleError(
+                f"trajectory does not serve request t={t} "
+                f"(u[{page},{level}] = {new[page, level - 1]:.4f})"
+            )
+        delta = new - prev
+        z_cost = float((np.maximum(delta, 0.0) * self._weights).sum())
+        # y movement: y(p, i) = u(p, i-1) - u(p, i); eviction side only.
+        y_prev = np.concatenate([np.ones((prev.shape[0], 1)), prev[:, :-1]], axis=1) - prev
+        y_new = np.concatenate([np.ones((new.shape[0], 1)), new[:, :-1]], axis=1) - new
+        y_cost = float((np.maximum(y_prev - y_new, 0.0) * self._weights).sum())
+        return z_cost, y_cost
+
+    @property
+    def u(self) -> np.ndarray:
+        return self._traj[self._t].copy()
+
+
+def lazify_trajectory(u: np.ndarray, seq: RequestSequence) -> np.ndarray:
+    """Defer non-requested pages' fetches to their next request.
+
+    Returns a trajectory ``L`` with, for every ``t``:
+
+    * ``L[t+1, q] = max(L[t, q], u[t+1, q])`` element-wise for ``q != p_t``
+      (evictions applied immediately, fetches deferred),
+    * ``L[t+1, p_t, j] = u[t+1, p_t, j]`` (the requested page follows the
+      original solution, in particular serving the request).
+
+    ``L`` stays feasible (it dominates ``u`` outside the requested page,
+    so covering and monotonicity carry over) and its total ``z``-cost
+    never exceeds the original's.
+    """
+    if u.ndim != 3 or u.shape[0] != len(seq) + 1:
+        raise InvalidRequestError(
+            f"trajectory shape {u.shape} inconsistent with sequence length {len(seq)}"
+        )
+    L = u.copy()
+    for t, req in enumerate(seq):
+        prev = L[t]
+        new = np.maximum(prev, u[t + 1])
+        new[req.page] = u[t + 1, req.page]
+        L[t + 1] = new
+    return L

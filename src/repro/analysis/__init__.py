@@ -1,0 +1,26 @@
+"""Analysis: competitive ratios, growth fits, potentials, report tables."""
+
+from repro.analysis.ascii_plot import bar_chart, line_chart
+from repro.analysis.potentials import (
+    PotentialReport,
+    fractional_potential,
+    verify_fractional_potential,
+    verify_waterfilling_potential,
+    waterfilling_potential,
+)
+from repro.analysis.ratios import GrowthFit, competitive_ratio, fit_growth
+from repro.analysis.tables import Table
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "GrowthFit",
+    "competitive_ratio",
+    "fit_growth",
+    "Table",
+    "PotentialReport",
+    "fractional_potential",
+    "verify_fractional_potential",
+    "verify_waterfilling_potential",
+    "waterfilling_potential",
+]

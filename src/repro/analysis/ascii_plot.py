@@ -1,0 +1,102 @@
+"""Dependency-free ASCII charts for terminal reports.
+
+The benchmark harness runs in environments without plotting libraries;
+these renderers cover the two shapes the experiments need — a multi-series
+line chart (ratio vs k) and a horizontal bar chart (policy comparison) —
+as plain text that survives logs and diffs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    logx: bool = False,
+) -> str:
+    """Render one or more y-series over shared x values.
+
+    Each series gets a marker from ``o x + * ...``; axes are annotated
+    with min/max.  ``logx`` spaces points by log2(x) — natural for
+    cache-size sweeps.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = list(map(float, x))
+    if len(xs) < 2:
+        raise ValueError("need at least two x values")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != x length")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small")
+
+    fx = (lambda v: math.log2(v)) if logx else (lambda v: v)
+    x_lo, x_hi = fx(min(xs)), fx(max(xs))
+    all_y = [float(v) for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(xs, ys):
+            col = round((fx(xv) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((float(yv) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.3g} +" + "-" * width + "+")
+    x_label_lo = f"{min(xs):g}"
+    x_label_hi = f"{max(xs):g}"
+    pad = width - len(x_label_lo) - len(x_label_hi)
+    lines.append(" " * 12 + x_label_lo + " " * max(pad, 1) + x_label_hi)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    values: dict[str, float],
+    *,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render labeled horizontal bars scaled to the maximum value."""
+    if not values:
+        raise ValueError("need at least one bar")
+    if width < 8:
+        raise ValueError("chart too small")
+    vmax = max(values.values())
+    if vmax <= 0:
+        raise ValueError("values must include a positive maximum")
+    label_w = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, v in values.items():
+        n = round(v / vmax * width)
+        lines.append(f"{name.ljust(label_w)} |{'#' * n}{' ' * (width - n)}| {v:g}")
+    return "\n".join(lines) + "\n"

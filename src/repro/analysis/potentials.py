@@ -1,0 +1,267 @@
+"""The paper's potential-function analyses, executable.
+
+Competitive proofs in the paper argue that for every event,
+
+    Delta(ON) + Delta(Phi) <= c * Delta(OFF)                       (*)
+
+for a potential ``Phi`` coupling the online state with an (unknown to the
+algorithm) optimal offline solution.  This module implements both
+potentials and *verifies* (*) per request along concrete runs, using the
+exact offline trace from :func:`repro.offline.dp.offline_opt_multilevel_trace`
+as OFF.  A failed inequality raises, so the test suite machine-checks the
+analyses on real executions — the closest a simulation can get to
+re-proving the theorems.
+
+* :func:`waterfilling_potential` / :func:`verify_waterfilling_potential` —
+  Theorem 4.1:
+  ``Phi = sum_{p in ON} [ k * v(p, i_p) * (w(p, i_p) - f(p, i_p)) + f(p, i_p) ]``
+  with the paper's cost convention (online eviction costs ``w``, online
+  fetch *earns* ``w/2``; offline pays evictions only), giving
+  ``c = k`` and hence 2k-competitiveness.
+
+* :func:`fractional_potential` / :func:`verify_fractional_potential` —
+  Section 4.2:
+  ``Phi = 2 sum_q sum_j w(q, j) * v(q, j) * ln((1 + eta) / (u(q, j) + eta))``
+  with online cost = the step-2 eviction movement (Lemma 4.3 makes step 1
+  free), giving ``c = 4 ln(1 + 1/eta)`` (= Theta(log k) at the paper's
+  ``eta = 1/k``).
+
+Both require the paper's WLOG geometric weight separation
+(``w(p, i) >= 2 w(p, i+1)``); apply
+:func:`repro.core.normalize.normalize_instance` first if needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.fractional import FractionalMultiLevelSolver
+from repro.algorithms.waterfilling import WaterFillingPolicy
+from repro.core.cache import MultiLevelCache
+from repro.core.instance import MultiLevelInstance
+from repro.core.ledger import CostLedger
+from repro.core.requests import RequestSequence
+from repro.errors import InvalidInstanceError
+from repro.offline.dp import offline_opt_multilevel_trace
+
+__all__ = [
+    "PotentialReport",
+    "waterfilling_potential",
+    "verify_waterfilling_potential",
+    "fractional_potential",
+    "verify_fractional_potential",
+]
+
+_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class PotentialReport:
+    """Per-request record of the drift inequality (*) along a run."""
+
+    online_costs: np.ndarray
+    offline_costs: np.ndarray
+    potential: np.ndarray  # Phi after each request (index 0 = initial)
+    c: float
+
+    @property
+    def slacks(self) -> np.ndarray:
+        """``c * dOFF - dON - dPhi`` per request; all >= 0 when (*) holds."""
+        dphi = np.diff(self.potential)
+        return self.c * self.offline_costs - self.online_costs - dphi
+
+    @property
+    def holds(self) -> bool:
+        """True if the inequality held at every request."""
+        return bool((self.slacks >= -_TOL * np.maximum(1.0, self.c)).all())
+
+    def worst_slack(self) -> float:
+        """The tightest (most negative) per-request slack."""
+        return float(self.slacks.min())
+
+
+def _offline_step_cost(
+    instance: MultiLevelInstance,
+    prev: dict[int, int],
+    new: dict[int, int],
+) -> float:
+    """Eviction cost OFF pays moving between consecutive trace states."""
+    cost = 0.0
+    for p, lvl in prev.items():
+        if new.get(p) != lvl:
+            cost += instance.weight(p, lvl)
+    return cost
+
+
+def _check_geometric(instance: MultiLevelInstance) -> None:
+    if not instance.has_geometric_levels():
+        raise InvalidInstanceError(
+            "the potential arguments assume w(p,i) >= 2 w(p,i+1); "
+            "normalize the instance first (repro.core.normalize)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.1 — water-filling
+# ---------------------------------------------------------------------------
+
+def waterfilling_potential(
+    instance: MultiLevelInstance,
+    on_cache: dict[int, int],
+    water: dict[int, float],
+    off_cache: dict[int, int],
+) -> float:
+    """Theorem 4.1's potential for given online/offline configurations.
+
+    ``v(p, i_p) = 1`` iff OFF holds no copy of ``p`` at level ``<= i_p``
+    (the offline prefix variable of the online copy).
+    """
+    k = instance.cache_size
+    phi = 0.0
+    for p, i_p in on_cache.items():
+        w = instance.weight(p, i_p)
+        f = water[p]
+        off_level = off_cache.get(p)
+        v = 0.0 if (off_level is not None and off_level <= i_p) else 1.0
+        phi += k * v * (w - f) + f
+    return phi
+
+
+def verify_waterfilling_potential(
+    instance: MultiLevelInstance,
+    seq: RequestSequence,
+    *,
+    max_states: int = 20_000,
+) -> PotentialReport:
+    """Run water-filling against the exact OFF trace and check (*).
+
+    Online cost convention (paper, proof of Theorem 4.1): evicting
+    ``(p, i)`` costs ``w(p, i)``, fetching earns ``w(p, i) / 2``; OFF pays
+    evictions only; ``c = k``.
+    """
+    _check_geometric(instance)
+    _, off_trace = offline_opt_multilevel_trace(
+        instance, seq, max_states=max_states
+    )
+    k = instance.cache_size
+
+    ledger = CostLedger(record_events=True)
+    cache = MultiLevelCache(instance, ledger)
+    policy = WaterFillingPolicy()
+    policy.bind(instance, cache, np.random.default_rng(0))
+
+    T = len(seq)
+    online_costs = np.zeros(T)
+    offline_costs = np.zeros(T)
+    potential = np.zeros(T + 1)
+    prev_off: dict[int, int] = {}
+    potential[0] = 0.0  # both caches empty
+
+    for t, req in enumerate(seq):
+        offline_costs[t] = _offline_step_cost(instance, prev_off, off_trace[t])
+        prev_off = off_trace[t]
+
+        evict_before = ledger.eviction_cost
+        fetches_before = len(ledger.events), ledger.n_fetches
+        cache_before = cache.contents()
+        policy.serve(t, req.page, req.level)
+        evict_cost = ledger.eviction_cost - evict_before
+        # Fetch profit: every copy present now but not before, at w/2.
+        fetch_profit = 0.0
+        for p, lvl in cache.contents().items():
+            if cache_before.get(p) != lvl:
+                fetch_profit += instance.weight(p, lvl) / 2.0
+        online_costs[t] = evict_cost - fetch_profit
+
+        water = {
+            p: instance.weight(p, cache.level_of(p))
+            - (policy._death[p] - policy._offset)
+            for p in cache.pages()
+        }
+        potential[t + 1] = waterfilling_potential(
+            instance, cache.contents(), water, off_trace[t]
+        )
+
+    return PotentialReport(
+        online_costs=online_costs,
+        offline_costs=offline_costs,
+        potential=potential,
+        c=float(k),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 4.2 — fractional solver
+# ---------------------------------------------------------------------------
+
+def fractional_potential(
+    instance: MultiLevelInstance,
+    u: np.ndarray,
+    off_cache: dict[int, int],
+    eta: float,
+) -> float:
+    """Section 4.2's potential for a fractional state ``u`` vs OFF.
+
+    ``v(q, j) = 1`` iff OFF holds no copy of ``q`` at level ``<= j``.
+    """
+    n, l = instance.n_pages, instance.n_levels
+    v = np.ones((n, l))
+    for p, lvl in off_cache.items():
+        v[p, lvl - 1:] = 0.0
+    logs = np.log((1.0 + eta) / (np.clip(u, 0.0, 1.0) + eta))
+    return float(2.0 * (instance.weights * v * logs).sum())
+
+
+def verify_fractional_potential(
+    instance: MultiLevelInstance,
+    seq: RequestSequence,
+    *,
+    eta: float | None = None,
+    max_states: int = 20_000,
+) -> PotentialReport:
+    """Run the fractional solver against the exact OFF trace and check (*).
+
+    Online cost = the step-2 eviction movement (Lemma 4.3/4.4);
+    ``c = 4 ln(1 + 1/eta)``.  Lemma 4.4's cancellation requires
+    ``eta <= 1/k`` (it uses ``eta |S| <= |S| - (k - 1)`` for ``|S| >= k``)
+    — larger eta genuinely breaks the drift inequality, so it is rejected
+    here.
+    """
+    _check_geometric(instance)
+    if eta is not None and eta > 1.0 / instance.cache_size + 1e-12:
+        raise ValueError(
+            f"the potential argument needs eta <= 1/k = "
+            f"{1.0 / instance.cache_size:g}, got {eta}"
+        )
+    _, off_trace = offline_opt_multilevel_trace(
+        instance, seq, max_states=max_states
+    )
+    solver = FractionalMultiLevelSolver(instance, eta=eta)
+    eta_val = solver.eta
+    c = 4.0 * math.log(1.0 + 1.0 / eta_val)
+
+    T = len(seq)
+    online_costs = np.zeros(T)
+    offline_costs = np.zeros(T)
+    potential = np.zeros(T + 1)
+    prev_off: dict[int, int] = {}
+    potential[0] = fractional_potential(instance, solver.u, {}, eta_val)
+
+    for t, req in enumerate(seq):
+        offline_costs[t] = _offline_step_cost(instance, prev_off, off_trace[t])
+        prev_off = off_trace[t]
+        step = solver.step(req.page, req.level)
+        online_costs[t] = step.evict_y_cost
+        potential[t + 1] = fractional_potential(
+            instance, solver.u, off_trace[t], eta_val
+        )
+
+    return PotentialReport(
+        online_costs=online_costs,
+        offline_costs=offline_costs,
+        potential=potential,
+        c=c,
+    )

@@ -1,0 +1,77 @@
+"""Competitive-ratio measurement and growth-rate estimation.
+
+The experiments report *empirical competitive ratios*: online cost divided
+by a lower bound on the offline optimum (:mod:`repro.offline.bounds`), so
+reported ratios upper-bound the true ones.  To compare measured growth
+against the theory's O(k), O(log k), O(log^2 k) shapes,
+:func:`fit_growth` regresses the measured ratio against each candidate
+shape and reports the best-fitting one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["competitive_ratio", "GrowthFit", "fit_growth"]
+
+
+def competitive_ratio(online_cost: float, opt_bound: float,
+                      *, additive_slack: float = 0.0) -> float:
+    """``online / max(opt, eps)`` with an optional additive allowance.
+
+    Competitive analysis permits an additive constant; passing the
+    instance's largest weight as ``additive_slack`` removes start-up
+    artifacts on short sequences.
+    """
+    if online_cost < 0 or opt_bound < 0:
+        raise ValueError("costs must be non-negative")
+    denom = max(opt_bound, 1e-12)
+    return max(online_cost - additive_slack, 0.0) / denom
+
+
+_SHAPES = {
+    "constant": lambda k: np.ones_like(k, dtype=float),
+    "log k": lambda k: np.log(np.maximum(k, 2.0)),
+    "log^2 k": lambda k: np.log(np.maximum(k, 2.0)) ** 2,
+    "k": lambda k: k.astype(float),
+}
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Result of fitting ratio-vs-k data to the candidate growth shapes."""
+
+    best_shape: str
+    coefficients: dict[str, float]
+    residuals: dict[str, float]
+
+    def coefficient(self, shape: str) -> float:
+        """Least-squares scale for ``ratio ~ coef * shape(k)``."""
+        return self.coefficients[shape]
+
+
+def fit_growth(ks, ratios) -> GrowthFit:
+    """Fit ``ratio ~ c * f(k)`` for each candidate ``f``; pick the best.
+
+    Uses simple one-parameter least squares per shape and compares
+    relative residuals.  With few points this is indicative, not a
+    statistical test — the benchmarks print the full table alongside.
+    """
+    k = np.asarray(ks, dtype=np.float64)
+    r = np.asarray(ratios, dtype=np.float64)
+    if k.shape != r.shape or k.ndim != 1 or k.size < 2:
+        raise ValueError("need matching 1-d arrays with at least 2 points")
+    coefficients: dict[str, float] = {}
+    residuals: dict[str, float] = {}
+    for name, f in _SHAPES.items():
+        x = f(k)
+        coef = float((x * r).sum() / (x * x).sum())
+        pred = coef * x
+        residuals[name] = float(np.sqrt(((r - pred) ** 2).mean()) / max(r.mean(), 1e-12))
+        coefficients[name] = coef
+    best = min(residuals, key=residuals.get)
+    return GrowthFit(best_shape=best, coefficients=coefficients,
+                     residuals=residuals)

@@ -1,0 +1,98 @@
+"""Consolidating benchmark artifacts into one report.
+
+Every bench persists its table under ``benchmarks/results/<name>.txt``
+(via ``benchmarks/_util.emit``).  :func:`consolidate_results` gathers
+those artifacts into a single markdown document — the raw material
+EXPERIMENTS.md quotes — and :func:`parse_table` converts an emitted table
+back into structured rows for programmatic post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ParsedTable", "parse_table", "consolidate_results"]
+
+
+@dataclass(frozen=True)
+class ParsedTable:
+    """A structurally parsed ``repro.analysis.Table`` rendering."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]]
+
+    def column(self, name: str) -> list[str]:
+        """All values of one column, by header name."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column {name!r} in {self.columns}") from exc
+        return [row[idx] for row in self.rows]
+
+    def floats(self, name: str) -> list[float]:
+        """A column parsed as floats."""
+        return [float(v) for v in self.column(name)]
+
+
+def parse_table(text: str) -> ParsedTable:
+    """Parse a table rendered by :class:`repro.analysis.Table`.
+
+    Column boundaries are recovered from the header's two-space runs, so
+    values containing single spaces survive.
+    """
+    lines = [ln.rstrip("\n") for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError("empty table text")
+    title = ""
+    if lines[0].startswith("== ") and lines[0].endswith(" =="):
+        title = lines[0][3:-3]
+        lines = lines[1:]
+    if len(lines) < 2:
+        raise ValueError("table missing header or separator")
+    header = lines[0]
+    body = [ln for ln in lines[2:]]  # skip the dashed separator
+
+    # Column start offsets: positions where a header word begins after a
+    # run of at least two spaces (or position 0).
+    starts = [0]
+    i = 0
+    while i < len(header) - 1:
+        if header[i] == " " and header[i + 1] == " ":
+            j = i
+            while j < len(header) and header[j] == " ":
+                j += 1
+            if j < len(header):
+                starts.append(j)
+            i = j
+        else:
+            i += 1
+    spans = list(zip(starts, starts[1:] + [None]))
+    columns = [header[a:b].strip() for a, b in spans]
+    rows = [[ln[a:b].strip() if a < len(ln) else "" for a, b in spans]
+            for ln in body]
+    return ParsedTable(title=title, columns=columns, rows=rows)
+
+
+def consolidate_results(results_dir: str | Path) -> str:
+    """Concatenate all ``*.txt`` artifacts into one markdown document."""
+    root = Path(results_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(f"no results directory at {root}")
+    files = sorted(root.glob("*.txt"))
+    if not files:
+        raise FileNotFoundError(f"no result artifacts under {root}")
+    parts = ["# Benchmark results\n"]
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        try:
+            parsed = parse_table(text)
+            heading = parsed.title or path.stem
+        except ValueError:
+            heading = path.stem
+        parts.append(f"## {heading}\n")
+        parts.append("```")
+        parts.append(text.rstrip("\n"))
+        parts.append("```\n")
+    return "\n".join(parts) + "\n"

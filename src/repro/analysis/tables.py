@@ -1,0 +1,73 @@
+"""Fixed-width table and CSV emission for the benchmark harness.
+
+Every bench prints its results through :class:`Table`, so all experiments
+report in the same paper-style row format and can be diffed run-to-run.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A small column-typed table with aligned text and CSV rendering."""
+
+    def __init__(self, columns: Sequence[str], *, title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def add_row(self, *values) -> None:
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Aligned fixed-width text rendering."""
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        out = io.StringIO()
+        if self.title:
+            out.write(f"== {self.title} ==\n")
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in self.rows:
+            out.write("  ".join(v.ljust(w) for v, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting; values are simple)."""
+        lines = [",".join(self.columns)]
+        lines.extend(",".join(row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      simulate one or more policies on a generated workload and
+             print a comparison table (optionally against the offline
+             optimum bound).
+``policies`` list every registered policy.
+``verify``   run the potential-function verifiers on a small instance —
+             machine-checks the paper's Theorem 4.1 / Section 4.2 drift
+             inequalities on a live run.
+
+Examples
+--------
+::
+
+    python -m repro policies
+    python -m repro run --policies lru,landlord,waterfilling \
+        --n-pages 32 --cache-size 8 --requests 5000 --workload zipf --opt
+    python -m repro run --policies randomized-multilevel --levels 3 \
+        --n-pages 24 --cache-size 6 --workload multilevel --seeds 5
+    python -m repro verify --n-pages 5 --cache-size 2 --levels 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms import policy_registry
+from repro.analysis import Table, competitive_ratio
+from repro.analysis.potentials import (
+    verify_fractional_potential,
+    verify_waterfilling_potential,
+)
+from repro.core.instance import MultiLevelInstance, WeightedPagingInstance
+from repro.offline import best_opt_bound
+from repro.sim import RunSpec, run_sweep
+from repro.workloads import (
+    geometric_instance,
+    multilevel_stream,
+    sample_weights,
+    scan_stream,
+    uniform_stream,
+    working_set_stream,
+    zipf_stream,
+)
+
+__all__ = ["main"]
+
+_WORKLOADS = ("zipf", "uniform", "scan", "working-set", "multilevel")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient Online Weighted Multi-Level Paging (SPAA'21) "
+        "reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate policies on a workload")
+    run.add_argument("--policies", default="lru,landlord,waterfilling",
+                     help="comma-separated policy names (see `policies`)")
+    run.add_argument("--n-pages", type=int, default=32)
+    run.add_argument("--cache-size", type=int, default=8)
+    run.add_argument("--levels", type=int, default=1)
+    run.add_argument("--requests", type=int, default=2000)
+    run.add_argument("--workload", choices=_WORKLOADS, default="zipf")
+    run.add_argument("--alpha", type=float, default=0.9,
+                     help="Zipf skew (zipf/multilevel workloads)")
+    run.add_argument("--weight-high", type=float, default=32.0,
+                     help="max page weight (log-uniform in [1, high])")
+    run.add_argument("--seeds", type=int, default=1,
+                     help="independent seeds per policy")
+    run.add_argument("--master-seed", type=int, default=0)
+    run.add_argument("--opt", action="store_true",
+                     help="also compute an offline OPT bound and ratios")
+    run.add_argument("--parallel", action="store_true",
+                     help="run the sweep across worker processes")
+    run.add_argument("--csv", action="store_true", help="emit CSV")
+
+    sub.add_parser("policies", help="list registered policies")
+
+    verify = sub.add_parser(
+        "verify", help="check the paper's potential drift inequalities"
+    )
+    verify.add_argument("--n-pages", type=int, default=5)
+    verify.add_argument("--cache-size", type=int, default=2)
+    verify.add_argument("--levels", type=int, default=2)
+    verify.add_argument("--requests", type=int, default=80)
+    verify.add_argument("--seed", type=int, default=0)
+
+    mrc = sub.add_parser(
+        "mrc", help="miss-ratio curves (LRU stack distances + Belady MIN)"
+    )
+    mrc.add_argument("--n-pages", type=int, default=64)
+    mrc.add_argument("--requests", type=int, default=20000)
+    mrc.add_argument("--max-k", type=int, default=16)
+    mrc.add_argument("--workload", choices=("zipf", "loop"), default="zipf")
+    mrc.add_argument("--alpha", type=float, default=0.9)
+    mrc.add_argument("--loop-size", type=int, default=10)
+    mrc.add_argument("--seed", type=int, default=0)
+    mrc.add_argument("--chart", action="store_true",
+                     help="render an ASCII chart of the curves")
+
+    lb = sub.add_parser(
+        "lower-bound", help="run the Section 3 set-cover reduction"
+    )
+    lb.add_argument("--elements", type=int, default=20)
+    lb.add_argument("--sets", type=int, default=8)
+    lb.add_argument("--cover-size", type=int, default=3)
+    lb.add_argument("--phases", type=int, default=3)
+    lb.add_argument("--w", type=float, default=5.0)
+    lb.add_argument("--repetitions", type=int, default=4)
+    lb.add_argument("--policy", default="landlord")
+    lb.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="consolidate benchmark artifacts into markdown"
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    return parser
+
+
+def _make_workload(args) -> tuple[MultiLevelInstance, object]:
+    n, k, l = args.n_pages, args.cache_size, args.levels
+    if args.workload == "multilevel" or l > 1:
+        inst = geometric_instance(n, k, max(l, 2))
+        seq = multilevel_stream(n, inst.n_levels, args.requests,
+                                alpha=args.alpha, rng=args.master_seed)
+        return inst, seq
+    weights = sample_weights(n, rng=args.master_seed, high=args.weight_high)
+    inst = WeightedPagingInstance(k, weights)
+    if args.workload == "zipf":
+        seq = zipf_stream(n, args.requests, alpha=args.alpha, rng=args.master_seed)
+    elif args.workload == "uniform":
+        seq = uniform_stream(n, args.requests, rng=args.master_seed)
+    elif args.workload == "scan":
+        seq = scan_stream(min(k + 1, n), args.requests)
+    else:  # working-set
+        seq = working_set_stream(
+            n, args.requests, set_size=max(2, k // 2),
+            phase_length=max(50, args.requests // 10), rng=args.master_seed,
+        )
+    return inst, seq
+
+
+def _cmd_run(args) -> int:
+    names = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = [p for p in names if p not in policy_registry]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(policy_registry))}", file=sys.stderr)
+        return 2
+    inst, seq = _make_workload(args)
+    opt_value = None
+    if args.opt:
+        opt = best_opt_bound(inst, seq)
+        opt_value = opt.value
+        print(f"offline OPT bound ({opt.method}): {opt_value:.2f}\n")
+    specs = [
+        RunSpec(inst, seq, policy_registry[name], n_seeds=args.seeds,
+                master_seed=args.master_seed, label=name)
+        for name in names
+    ]
+    results = run_sweep(specs, parallel=args.parallel)
+    columns = ["policy", "mean cost", "stderr", "hit rate"]
+    if opt_value is not None:
+        columns.append("ratio vs OPT")
+    table = Table(columns, title=f"{inst.name} / {args.workload}")
+    for res in results:
+        agg = res.aggregate
+        row = [res.spec_label, agg.mean_cost, agg.stderr_cost, agg.mean_hit_rate]
+        if opt_value is not None:
+            row.append(competitive_ratio(agg.mean_cost, opt_value))
+        table.add_row(*row)
+    print(table.to_csv() if args.csv else table.render())
+    return 0
+
+
+def _cmd_policies() -> int:
+    table = Table(["name", "class"], title="registered policies")
+    for name in sorted(policy_registry):
+        table.add_row(name, policy_registry[name].__name__)
+    print(table.render())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    inst = geometric_instance(args.n_pages, args.cache_size, args.levels)
+    seq = multilevel_stream(args.n_pages, args.levels, args.requests,
+                            rng=args.seed)
+    print(f"instance: {inst}; {len(seq)} requests\n")
+    ok = True
+    for name, verifier in [
+        ("Theorem 4.1 (water-filling, c = k)", verify_waterfilling_potential),
+        ("Section 4.2 (fractional, c = 4 ln(1 + 1/eta))",
+         verify_fractional_potential),
+    ]:
+        report = verifier(inst, seq)
+        status = "HOLDS" if report.holds else "VIOLATED"
+        ok &= report.holds
+        print(f"{name}: {status}  "
+              f"(worst per-request slack {report.worst_slack():+.4f}, "
+              f"c = {report.c:.2f})")
+    return 0 if ok else 1
+
+
+def _cmd_mrc(args) -> int:
+    from repro.analysis import line_chart
+    from repro.sim import lru_miss_curve, opt_miss_curve
+    from repro.workloads import loop_stream
+
+    if args.workload == "zipf":
+        seq = zipf_stream(args.n_pages, args.requests, alpha=args.alpha,
+                          rng=args.seed)
+        name = f"zipf({args.alpha:g})"
+    else:
+        seq = loop_stream(args.n_pages, args.requests,
+                          loop_size=args.loop_size, jitter=0.05,
+                          rng=args.seed)
+        name = f"loop({args.loop_size})"
+    lru = lru_miss_curve(seq, args.max_k)
+    opt = opt_miss_curve(seq, args.max_k)
+    table = Table(["k", "LRU miss %", "MIN miss %", "LRU/MIN"],
+                  title=f"miss-ratio curves, {name}, n={args.n_pages}")
+    for k in range(1, args.max_k + 1):
+        table.add_row(k, 100.0 * lru[k - 1] / len(seq),
+                      100.0 * opt[k - 1] / len(seq),
+                      lru[k - 1] / max(opt[k - 1], 1))
+    print(table.render())
+    if args.chart:
+        ks = list(range(1, args.max_k + 1))
+        print(line_chart(
+            ks,
+            {"LRU": (100.0 * lru / len(seq)).tolist(),
+             "MIN": (100.0 * opt / len(seq)).tolist()},
+            title="miss % vs cache size",
+        ))
+    return 0
+
+
+def _cmd_lower_bound(args) -> int:
+    from repro.setcover import (
+        greedy_cover,
+        hard_instance_family,
+        phase_covers,
+        phased_reduction,
+    )
+    from repro.sim import simulate
+
+    if args.policy not in policy_registry:
+        print(f"unknown policy {args.policy!r}", file=sys.stderr)
+        return 2
+    family = hard_instance_family(
+        args.elements, args.sets, args.cover_size, rng=args.seed
+    )
+    phased = phased_reduction(family, args.phases, w=args.w,
+                              repetitions=args.repetitions, rng=args.seed)
+    print(
+        f"set system: {family.system}; planted cover {args.cover_size}; "
+        f"{phased.n_phases} phases, {len(phased.sequence)} paging requests, "
+        f"k = {phased.instance.cache_size}\n"
+    )
+    run = simulate(phased.instance, phased.sequence,
+                   policy_registry[args.policy](), seed=args.seed,
+                   record_events=True)
+    covers = phase_covers(phased, run.events)
+    table = Table(["phase", "offline cover", "committed |D|", "valid"],
+                  title=f"{args.policy} on the Theorem 3.6 stream")
+    for i, (elems, cover) in enumerate(zip(phased.phase_elements, covers)):
+        offline = len(greedy_cover(family.system, elems))
+        table.add_row(i, offline, len(cover),
+                      family.system.is_cover(cover, elems))
+    print(table.render())
+    print(f"total paging cost: {run.cost:.1f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "mrc":
+        return _cmd_mrc(args)
+    if args.command == "lower-bound":
+        return _cmd_lower_bound(args)
+    if args.command == "report":
+        from repro.analysis.report import consolidate_results
+
+        try:
+            print(consolidate_results(args.results_dir))
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
+    return _cmd_verify(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

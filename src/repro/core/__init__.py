@@ -1,0 +1,39 @@
+"""Core substrate: requests, instances, caches, cost accounting, reductions."""
+
+from repro.core.cache import MultiLevelCache, WritebackCache
+from repro.core.instance import (
+    MultiLevelInstance,
+    RWPagingInstance,
+    WeightedPagingInstance,
+    WritebackInstance,
+)
+from repro.core.ledger import CostLedger, EvictionRecord
+from repro.core.normalize import NormalizedInstance, normalize_instance
+from repro.core.reductions import (
+    rw_to_writeback_instance,
+    rw_to_writeback_sequence,
+    writeback_to_rw_instance,
+    writeback_to_rw_sequence,
+)
+from repro.core.requests import Request, RequestSequence, WBRequest, WBRequestSequence
+
+__all__ = [
+    "MultiLevelCache",
+    "WritebackCache",
+    "MultiLevelInstance",
+    "RWPagingInstance",
+    "WeightedPagingInstance",
+    "WritebackInstance",
+    "CostLedger",
+    "EvictionRecord",
+    "NormalizedInstance",
+    "normalize_instance",
+    "Request",
+    "RequestSequence",
+    "WBRequest",
+    "WBRequestSequence",
+    "rw_to_writeback_instance",
+    "rw_to_writeback_sequence",
+    "writeback_to_rw_instance",
+    "writeback_to_rw_sequence",
+]

@@ -1,0 +1,277 @@
+"""Authoritative cache states for multi-level and writeback-aware caching.
+
+The simulator owns a cache object and hands policies a reference; every
+mutation is charged to a :class:`~repro.core.ledger.CostLedger` and checked
+against the model's invariants:
+
+* at most ``k`` copies cached (:class:`CacheOverflowError` on overflow),
+* at most one copy per page for multi-level caches
+  (:class:`CacheInvariantError` on a second fetch),
+* evictions only of cached copies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.instance import MultiLevelInstance, WritebackInstance
+from repro.core.ledger import CostLedger
+from repro.errors import CacheInvariantError, CacheOverflowError
+
+__all__ = ["MultiLevelCache", "WritebackCache"]
+
+
+class MultiLevelCache:
+    """Cache of at most ``k`` copies, at most one copy per page.
+
+    The mapping is ``page -> level`` (1-based).  Eviction of the copy of
+    page ``p`` at level ``i`` is charged ``w(p, i)``.
+    """
+
+    __slots__ = ("instance", "ledger", "_contents")
+
+    def __init__(self, instance: MultiLevelInstance,
+                 ledger: CostLedger | None = None) -> None:
+        self.instance = instance
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self._contents: dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._contents)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._contents
+
+    def level_of(self, page: int) -> int | None:
+        """Level of the cached copy of ``page``, or ``None`` if absent."""
+        return self._contents.get(page)
+
+    def serves(self, page: int, level: int) -> bool:
+        """True if the cached copy of ``page`` serves a level-``level`` request."""
+        cur = self._contents.get(page)
+        return cur is not None and cur <= level
+
+    def pages(self) -> Iterator[int]:
+        """Iterate over cached pages (insertion order)."""
+        return iter(self._contents)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(page, level)`` pairs."""
+        return iter(self._contents.items())
+
+    def contents(self) -> dict[int, int]:
+        """A copy of the ``page -> level`` mapping."""
+        return dict(self._contents)
+
+    @property
+    def is_full(self) -> bool:
+        """True if the cache holds exactly ``k`` copies."""
+        return len(self._contents) >= self.instance.cache_size
+
+    @property
+    def free_slots(self) -> int:
+        """Number of additional copies the cache can hold."""
+        return self.instance.cache_size - len(self._contents)
+
+    # -- mutations ---------------------------------------------------------
+    def fetch(self, page: int, level: int) -> None:
+        """Bring copy ``(page, level)`` into the cache (free).
+
+        Raises on overflow or if another copy of ``page`` is cached — use
+        :meth:`replace` for level changes of a cached page.
+        """
+        self.instance.check_copy(page, level)
+        if page in self._contents:
+            raise CacheInvariantError(
+                f"page {page} already cached at level {self._contents[page]}; "
+                "at most one copy per page is allowed"
+            )
+        if self.is_full:
+            raise CacheOverflowError(
+                f"cache full ({self.instance.cache_size} copies); evict before fetching"
+            )
+        self._contents[page] = level
+        self.ledger.count_fetch()
+
+    def evict(self, page: int, reason: str = "") -> int:
+        """Evict the cached copy of ``page``; returns the evicted level.
+
+        Charges ``w(page, level)`` to the ledger.
+        """
+        level = self._contents.pop(page, None)
+        if level is None:
+            raise CacheInvariantError(f"cannot evict page {page}: not cached")
+        self.ledger.charge_eviction(
+            page, level, self.instance.weight(page, level), reason
+        )
+        return level
+
+    def replace(self, page: int, new_level: int, reason: str = "") -> int:
+        """Swap the cached copy of ``page`` for its ``new_level`` copy.
+
+        Charges the eviction of the old copy; the fetch is free.  Returns
+        the old level.
+        """
+        self.instance.check_copy(page, new_level)
+        old = self._contents.get(page)
+        if old is None:
+            raise CacheInvariantError(f"cannot replace page {page}: not cached")
+        if old == new_level:
+            raise CacheInvariantError(
+                f"replace must change the level of page {page} (currently {old})"
+            )
+        self.ledger.charge_eviction(page, old, self.instance.weight(page, old), reason)
+        self._contents[page] = new_level
+        self.ledger.count_fetch()
+        return old
+
+    def flush(self, reason: str = "flush") -> float:
+        """Evict everything; returns the total cost charged."""
+        before = self.ledger.eviction_cost
+        for page in list(self._contents):
+            self.evict(page, reason)
+        return self.ledger.eviction_cost - before
+
+    # -- invariants ----------------------------------------------------------
+    def check_invariants(self, *, deep: bool = False) -> None:
+        """Raise :class:`CacheInvariantError` if internal state is corrupt.
+
+        The O(1) capacity check runs always; ``deep=True`` additionally
+        re-validates every cached entry's ranges (mutators already check
+        entries on the way in, so the deep pass is for debugging).
+        """
+        if len(self._contents) > self.instance.cache_size:
+            raise CacheInvariantError(
+                f"cache holds {len(self._contents)} copies, capacity is "
+                f"{self.instance.cache_size}"
+            )
+        if not deep:
+            return
+        for page, level in self._contents.items():
+            if not (0 <= page < self.instance.n_pages):
+                raise CacheInvariantError(f"cached page {page} out of range")
+            if not (1 <= level <= self.instance.n_levels):
+                raise CacheInvariantError(
+                    f"cached level {level} of page {page} out of range"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiLevelCache(size={len(self)}/{self.instance.cache_size}, "
+            f"cost={self.ledger.eviction_cost:.3f})"
+        )
+
+
+class WritebackCache:
+    """Cache of at most ``k`` pages with dirty bits.
+
+    Evicting a dirty page costs ``w1(p)``, a clean one ``w2(p)``.  Pages
+    enter clean and become dirty on a write; evicting a dirty page models
+    the writeback (after which the next fetch is clean again).
+    """
+
+    __slots__ = ("instance", "ledger", "_dirty")
+
+    def __init__(self, instance: WritebackInstance,
+                 ledger: CostLedger | None = None) -> None:
+        self.instance = instance
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self._dirty: dict[int, bool] = {}
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._dirty
+
+    def is_dirty(self, page: int) -> bool:
+        """True if ``page`` is cached and dirty."""
+        return self._dirty.get(page, False)
+
+    def pages(self) -> Iterator[int]:
+        """Iterate over cached pages (insertion order)."""
+        return iter(self._dirty)
+
+    def items(self) -> Iterator[tuple[int, bool]]:
+        """Iterate over ``(page, dirty)`` pairs."""
+        return iter(self._dirty.items())
+
+    def contents(self) -> dict[int, bool]:
+        """A copy of the ``page -> dirty`` mapping."""
+        return dict(self._dirty)
+
+    @property
+    def is_full(self) -> bool:
+        """True if the cache holds exactly ``k`` pages."""
+        return len(self._dirty) >= self.instance.cache_size
+
+    @property
+    def free_slots(self) -> int:
+        """Number of additional pages the cache can hold."""
+        return self.instance.cache_size - len(self._dirty)
+
+    # -- mutations ---------------------------------------------------------
+    def fetch(self, page: int) -> None:
+        """Bring ``page`` into the cache, clean (free fetch)."""
+        self.instance.check_page(page)
+        if page in self._dirty:
+            raise CacheInvariantError(f"page {page} already cached")
+        if self.is_full:
+            raise CacheOverflowError(
+                f"cache full ({self.instance.cache_size} pages); evict before fetching"
+            )
+        self._dirty[page] = False
+        self.ledger.count_fetch()
+
+    def mark_dirty(self, page: int) -> None:
+        """Mark a cached page dirty (a write request touched it)."""
+        if page not in self._dirty:
+            raise CacheInvariantError(f"cannot dirty page {page}: not cached")
+        self._dirty[page] = True
+
+    def evict(self, page: int, reason: str = "") -> bool:
+        """Evict ``page``; returns whether it was dirty.
+
+        Charges ``w1`` (dirty) or ``w2`` (clean).  Level 1 is reported to
+        the ledger for dirty evictions and level 2 for clean ones, matching
+        the RW-paging encoding.
+        """
+        dirty = self._dirty.pop(page, None)
+        if dirty is None:
+            raise CacheInvariantError(f"cannot evict page {page}: not cached")
+        cost = self.instance.eviction_cost(page, dirty)
+        self.ledger.charge_eviction(page, 1 if dirty else 2, cost, reason)
+        return dirty
+
+    def flush(self, reason: str = "flush") -> float:
+        """Evict everything; returns the total cost charged."""
+        before = self.ledger.eviction_cost
+        for page in list(self._dirty):
+            self.evict(page, reason)
+        return self.ledger.eviction_cost - before
+
+    # -- invariants ----------------------------------------------------------
+    def check_invariants(self, *, deep: bool = False) -> None:
+        """Raise :class:`CacheInvariantError` if internal state is corrupt.
+
+        See :meth:`MultiLevelCache.check_invariants` for the deep flag.
+        """
+        if len(self._dirty) > self.instance.cache_size:
+            raise CacheInvariantError(
+                f"cache holds {len(self._dirty)} pages, capacity is "
+                f"{self.instance.cache_size}"
+            )
+        if not deep:
+            return
+        for page in self._dirty:
+            if not (0 <= page < self.instance.n_pages):
+                raise CacheInvariantError(f"cached page {page} out of range")
+
+    def __repr__(self) -> str:
+        return (
+            f"WritebackCache(size={len(self)}/{self.instance.cache_size}, "
+            f"dirty={sum(self._dirty.values())}, "
+            f"cost={self.ledger.eviction_cost:.3f})"
+        )

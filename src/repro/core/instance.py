@@ -1,0 +1,327 @@
+"""Problem instances for the paging variants studied in the paper.
+
+The central class is :class:`MultiLevelInstance`: ``n`` pages, a cache of
+size ``k`` and an ``(n, l)`` weight matrix whose rows are non-increasing and
+at least 1 (Section 2 of the paper).  Weighted paging (``l = 1``) and
+RW-paging (``l = 2``) are thin specializations; writeback-aware caching is a
+separate vocabulary (dirty/clean weights) linked to RW-paging by the
+Lemma 2.1 reduction in :mod:`repro.core.reductions`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError, InvalidRequestError
+
+__all__ = [
+    "MultiLevelInstance",
+    "WeightedPagingInstance",
+    "RWPagingInstance",
+    "WritebackInstance",
+]
+
+
+def _as_weight_matrix(weights) -> np.ndarray:
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim == 1:
+        w = w[:, None]
+    if w.ndim != 2:
+        raise InvalidInstanceError(f"weights must be (n,) or (n, l), got shape {w.shape}")
+    return w
+
+
+class MultiLevelInstance:
+    """A weighted multi-level paging instance.
+
+    Parameters
+    ----------
+    cache_size:
+        Cache capacity ``k`` (number of copies the cache can hold).
+    weights:
+        ``(n, l)`` array; ``weights[p, i-1]`` is the eviction cost of copy
+        ``(p, i)``.  Rows must be non-increasing and every entry ``>= 1``.
+    name:
+        Optional human-readable tag used in reports.
+
+    Notes
+    -----
+    The paper additionally assumes WLOG that consecutive level weights are
+    separated by a factor of at least 2; that normalization is *not* forced
+    here — apply :func:`repro.core.normalize.normalize_instance` when an
+    algorithm's analysis requires it.
+    """
+
+    __slots__ = ("_weights", "_k", "name")
+
+    def __init__(self, cache_size: int, weights, *, name: str = "") -> None:
+        w = _as_weight_matrix(weights)
+        n, levels = w.shape
+        if n == 0 or levels == 0:
+            raise InvalidInstanceError("instance must have at least one page and level")
+        if not np.all(np.isfinite(w)):
+            raise InvalidInstanceError("weights must be finite")
+        if np.any(w < 1.0):
+            raise InvalidInstanceError("all weights must be >= 1")
+        if levels > 1 and np.any(np.diff(w, axis=1) > 1e-12):
+            raise InvalidInstanceError(
+                "weights must be non-increasing across levels for every page"
+            )
+        if not isinstance(cache_size, (int, np.integer)) or cache_size < 1:
+            raise InvalidInstanceError(f"cache_size must be a positive int, got {cache_size!r}")
+        if cache_size >= n:
+            raise InvalidInstanceError(
+                f"cache_size ({cache_size}) must be smaller than the number of pages ({n})"
+            )
+        self._weights = w
+        self._weights.setflags(write=False)
+        self._k = int(cache_size)
+        self.name = name or f"multilevel(n={n}, l={levels}, k={cache_size})"
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        """Number of pages ``n`` in the universe."""
+        return int(self._weights.shape[0])
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels ``l`` (copies per page)."""
+        return int(self._weights.shape[1])
+
+    @property
+    def cache_size(self) -> int:
+        """Cache capacity ``k``."""
+        return self._k
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Read-only ``(n, l)`` weight matrix."""
+        return self._weights
+
+    def weight(self, page: int, level: int) -> float:
+        """Eviction cost of copy ``(page, level)`` (level is 1-based)."""
+        self.check_copy(page, level)
+        return float(self._weights[page, level - 1])
+
+    # -- validation helpers --------------------------------------------------
+    def check_page(self, page: int) -> None:
+        """Raise :class:`InvalidRequestError` unless ``page`` is in range."""
+        if not 0 <= page < self.n_pages:
+            raise InvalidRequestError(
+                f"page {page} out of range [0, {self.n_pages})"
+            )
+
+    def check_copy(self, page: int, level: int) -> None:
+        """Raise :class:`InvalidRequestError` unless ``(page, level)`` exists."""
+        self.check_page(page)
+        if not 1 <= level <= self.n_levels:
+            raise InvalidRequestError(
+                f"level {level} out of range [1, {self.n_levels}]"
+            )
+
+    def validate_sequence(self, pages: np.ndarray, levels: np.ndarray) -> None:
+        """Vectorized range check of a whole request stream."""
+        if pages.size == 0:
+            return
+        if int(pages.min()) < 0 or int(pages.max()) >= self.n_pages:
+            raise InvalidRequestError("request sequence references pages out of range")
+        if int(levels.min()) < 1 or int(levels.max()) > self.n_levels:
+            raise InvalidRequestError("request sequence references levels out of range")
+
+    # -- derived quantities --------------------------------------------------
+    def weight_class(self, page: int, level: int) -> int:
+        """Weight class index ``i >= 1`` with ``w in (2^(i-1), 2^i]``.
+
+        Class 1 is widened to ``[1, 2]`` so that unit weights belong to a
+        class (the paper's ``P_i`` partition starts at ``w > 1``).
+        """
+        w = self.weight(page, level)
+        return max(1, int(np.ceil(np.log2(w))))
+
+    def weight_classes(self) -> np.ndarray:
+        """``(n, l)`` int array of weight classes for every copy."""
+        cls = np.ceil(np.log2(self._weights)).astype(np.int64)
+        return np.maximum(cls, 1)
+
+    def max_weight_class(self) -> int:
+        """Largest weight class present in the instance."""
+        return int(self.weight_classes().max())
+
+    def has_geometric_levels(self, ratio: float = 2.0) -> bool:
+        """True if ``w(p, i) >= ratio * w(p, i+1)`` for all pages and levels."""
+        if self.n_levels == 1:
+            return True
+        w = self._weights
+        return bool(np.all(w[:, :-1] >= ratio * w[:, 1:] - 1e-12))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiLevelInstance):
+            return NotImplemented
+        return self._k == other._k and np.array_equal(self._weights, other._weights)
+
+    def __hash__(self) -> int:
+        return hash((self._k, self._weights.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n_pages}, l={self.n_levels}, "
+            f"k={self.cache_size})"
+        )
+
+
+class WeightedPagingInstance(MultiLevelInstance):
+    """Classical weighted paging: one level per page (``l = 1``)."""
+
+    def __init__(self, cache_size: int, weights: Sequence[float] | np.ndarray,
+                 *, name: str = "") -> None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1:
+            raise InvalidInstanceError("weighted paging weights must be 1-d")
+        super().__init__(cache_size, w[:, None], name=name or f"weighted(n={w.size}, k={cache_size})")
+
+    @classmethod
+    def uniform(cls, n_pages: int, cache_size: int) -> "WeightedPagingInstance":
+        """Unweighted paging: every page costs 1."""
+        return cls(cache_size, np.ones(n_pages))
+
+    def page_weight(self, page: int) -> float:
+        """Eviction cost of ``page``."""
+        return self.weight(page, 1)
+
+    @property
+    def page_weights(self) -> np.ndarray:
+        """Read-only length-``n`` weight vector."""
+        return self.weights[:, 0]
+
+
+class RWPagingInstance(MultiLevelInstance):
+    """RW-paging: each page has a write copy ``(p, 1)`` and read copy ``(p, 2)``.
+
+    ``w(p, 1) >= w(p, 2) >= 1``; a write request is ``(p, 1)``, a read
+    request is ``(p, 2)``, and the cache may hold at most one of the two
+    copies — exactly the ``l = 2`` multi-level instance.
+    """
+
+    def __init__(self, cache_size: int, write_weights, read_weights,
+                 *, name: str = "") -> None:
+        ww = np.asarray(write_weights, dtype=np.float64)
+        rw = np.asarray(read_weights, dtype=np.float64)
+        if ww.ndim != 1 or rw.ndim != 1 or ww.shape != rw.shape:
+            raise InvalidInstanceError(
+                "write/read weights must be equal-length 1-d arrays"
+            )
+        super().__init__(
+            cache_size,
+            np.stack([ww, rw], axis=1),
+            name=name or f"rw(n={ww.size}, k={cache_size})",
+        )
+
+    @property
+    def write_weights(self) -> np.ndarray:
+        """Eviction costs of the write copies ``(p, 1)``."""
+        return self.weights[:, 0]
+
+    @property
+    def read_weights(self) -> np.ndarray:
+        """Eviction costs of the read copies ``(p, 2)``."""
+        return self.weights[:, 1]
+
+
+class WritebackInstance:
+    """Writeback-aware caching: dirty pages cost more to evict than clean.
+
+    ``w1(p) = dirty_weights[p] >= w2(p) = clean_weights[p] >= 1``
+    (page-dependent costs — the paper's generalization of Beckmann et al.'s
+    uniform-cost model).
+    """
+
+    __slots__ = ("_w_dirty", "_w_clean", "_k", "name")
+
+    def __init__(self, cache_size: int, dirty_weights, clean_weights,
+                 *, name: str = "") -> None:
+        wd = np.asarray(dirty_weights, dtype=np.float64)
+        wc = np.asarray(clean_weights, dtype=np.float64)
+        if wd.ndim != 1 or wc.ndim != 1 or wd.shape != wc.shape:
+            raise InvalidInstanceError(
+                "dirty/clean weights must be equal-length 1-d arrays"
+            )
+        n = wd.size
+        if n == 0:
+            raise InvalidInstanceError("instance must have at least one page")
+        if not (np.all(np.isfinite(wd)) and np.all(np.isfinite(wc))):
+            raise InvalidInstanceError("weights must be finite")
+        if np.any(wc < 1.0):
+            raise InvalidInstanceError("clean weights must be >= 1")
+        if np.any(wd < wc - 1e-12):
+            raise InvalidInstanceError("dirty weights must dominate clean weights")
+        if not isinstance(cache_size, (int, np.integer)) or cache_size < 1:
+            raise InvalidInstanceError(f"cache_size must be a positive int, got {cache_size!r}")
+        if cache_size >= n:
+            raise InvalidInstanceError(
+                f"cache_size ({cache_size}) must be smaller than the number of pages ({n})"
+            )
+        self._w_dirty = wd
+        self._w_clean = wc
+        self._w_dirty.setflags(write=False)
+        self._w_clean.setflags(write=False)
+        self._k = int(cache_size)
+        self.name = name or f"writeback(n={n}, k={cache_size})"
+
+    @classmethod
+    def uniform(cls, n_pages: int, cache_size: int, dirty_cost: float,
+                clean_cost: float = 1.0) -> "WritebackInstance":
+        """The Beckmann et al. model: one dirty and one clean cost for all pages."""
+        return cls(
+            cache_size,
+            np.full(n_pages, float(dirty_cost)),
+            np.full(n_pages, float(clean_cost)),
+        )
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages ``n`` in the universe."""
+        return int(self._w_dirty.size)
+
+    @property
+    def cache_size(self) -> int:
+        """Cache capacity ``k``."""
+        return self._k
+
+    @property
+    def dirty_weights(self) -> np.ndarray:
+        """Per-page eviction cost when dirty (``w1``)."""
+        return self._w_dirty
+
+    @property
+    def clean_weights(self) -> np.ndarray:
+        """Per-page eviction cost when clean (``w2``)."""
+        return self._w_clean
+
+    def eviction_cost(self, page: int, dirty: bool) -> float:
+        """Cost of evicting ``page`` in the given dirtiness state."""
+        if not 0 <= page < self.n_pages:
+            raise InvalidRequestError(f"page {page} out of range [0, {self.n_pages})")
+        return float(self._w_dirty[page] if dirty else self._w_clean[page])
+
+    def check_page(self, page: int) -> None:
+        """Raise :class:`InvalidRequestError` unless ``page`` is in range."""
+        if not 0 <= page < self.n_pages:
+            raise InvalidRequestError(f"page {page} out of range [0, {self.n_pages})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WritebackInstance):
+            return NotImplemented
+        return (
+            self._k == other._k
+            and np.array_equal(self._w_dirty, other._w_dirty)
+            and np.array_equal(self._w_clean, other._w_clean)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._k, self._w_dirty.tobytes(), self._w_clean.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"WritebackInstance(n={self.n_pages}, k={self.cache_size})"

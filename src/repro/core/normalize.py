@@ -1,0 +1,121 @@
+"""Geometric level normalization (the paper's WLOG weight separation).
+
+Section 4 of the paper assumes, losing at most a factor of 2, that
+consecutive level weights of every page are separated by a factor of at
+least 2 (``w(p, i) >= 2 * w(p, i+1)``), "otherwise we can simply merge two
+levels for p".
+
+This module implements that merge as an explicit instance transform:
+
+* per page, levels are greedily grouped so that each group's representative
+  weight (the weight of its highest level) is at least twice the next
+  group's — every level in a group has weight within a factor ``< 2`` of the
+  representative, which is where the factor-2 loss comes from;
+* requests are remapped to the group's representative level;
+* because different pages may end up with different group counts, shorter
+  pages are padded with *heavier* synthetic levels at the front (weights
+  continuing the geometric progression upward).  Padded levels are never
+  produced by the request remap, so they are inert for every algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import MultiLevelInstance
+from repro.core.requests import RequestSequence
+
+__all__ = ["NormalizedInstance", "normalize_instance"]
+
+
+@dataclass(frozen=True)
+class NormalizedInstance:
+    """Result of :func:`normalize_instance`.
+
+    Attributes
+    ----------
+    instance:
+        The normalized instance; ``instance.has_geometric_levels()`` holds.
+    level_map:
+        ``(n, l_old)`` int array; ``level_map[p, i-1]`` is the 1-based new
+        level that an old request ``(p, i)`` maps to.
+    original:
+        The instance that was normalized.
+    """
+
+    instance: MultiLevelInstance
+    level_map: np.ndarray
+    original: MultiLevelInstance
+
+    def map_request(self, page: int, level: int) -> tuple[int, int]:
+        """Translate an original request into the normalized instance."""
+        self.original.check_copy(page, level)
+        return page, int(self.level_map[page, level - 1])
+
+    def map_sequence(self, seq: RequestSequence) -> RequestSequence:
+        """Translate a whole request sequence (vectorized)."""
+        self.original.validate_sequence(seq.pages, seq.levels)
+        new_levels = self.level_map[seq.pages, seq.levels - 1]
+        return RequestSequence(seq.pages.copy(), new_levels)
+
+
+def _group_page(weights: np.ndarray, ratio: float) -> tuple[list[float], np.ndarray]:
+    """Greedy grouping of one page's level weights.
+
+    Returns the per-group representative weights (non-increasing, pairwise
+    separated by >= ratio) and the 0-based group index of each old level.
+    """
+    n_levels = weights.size
+    reps: list[float] = []
+    group_of = np.empty(n_levels, dtype=np.int64)
+    current_rep = None
+    for i in range(n_levels):
+        w = float(weights[i])
+        if current_rep is None or w * ratio <= current_rep + 1e-12:
+            reps.append(w)
+            current_rep = w
+        group_of[i] = len(reps) - 1
+    return reps, group_of
+
+
+def normalize_instance(instance: MultiLevelInstance,
+                       ratio: float = 2.0) -> NormalizedInstance:
+    """Merge levels so consecutive weights differ by at least ``ratio``.
+
+    The returned instance satisfies
+    ``instance.has_geometric_levels(ratio)`` and any request stream mapped
+    through :meth:`NormalizedInstance.map_sequence` costs at most ``ratio``
+    times the original optimum (each request is served by a copy at most
+    ``ratio`` times heavier than the one it asked for).
+    """
+    if ratio <= 1.0:
+        raise ValueError(f"ratio must exceed 1, got {ratio}")
+    n, l_old = instance.n_pages, instance.n_levels
+    page_reps: list[list[float]] = []
+    page_groups: list[np.ndarray] = []
+    for p in range(n):
+        reps, groups = _group_page(instance.weights[p], ratio)
+        page_reps.append(reps)
+        page_groups.append(groups)
+
+    l_new = max(len(reps) for reps in page_reps)
+    new_weights = np.empty((n, l_new), dtype=np.float64)
+    level_map = np.empty((n, l_old), dtype=np.int64)
+    for p in range(n):
+        reps = page_reps[p]
+        pad = l_new - len(reps)
+        # Front-pad with heavier synthetic levels continuing the geometric
+        # progression upward; these are unreachable through level_map.
+        for j in range(pad):
+            new_weights[p, j] = reps[0] * ratio ** (pad - j)
+        new_weights[p, pad:] = reps
+        level_map[p] = page_groups[p] + pad + 1  # 1-based new levels
+
+    normalized = MultiLevelInstance(
+        instance.cache_size, new_weights,
+        name=f"{instance.name}|geo{ratio:g}",
+    )
+    return NormalizedInstance(instance=normalized, level_map=level_map,
+                              original=instance)

@@ -1,0 +1,117 @@
+"""The Lemma 2.1 equivalence: writeback-aware caching <-> RW-paging.
+
+The paper's reduction (Section 2):
+
+* instance map — a writeback instance with dirty/clean costs
+  ``w1(p) >= w2(p)`` becomes the RW-paging instance whose write copy
+  ``(p, 1)`` costs ``w1(p)`` and read copy ``(p, 2)`` costs ``w2(p)``
+  (and vice versa);
+* request map — every write request becomes a request for ``(p, 1)``,
+  every read request a request for ``(p, 2)``;
+* solution maps in both directions preserve cost (Lemma 2.1), so the
+  integral optima of the paired instances are equal.
+
+:func:`writeback_cost_of_rw_run` implements the solution map S -> S' used in
+the lemma's proof: replaying an RW cache trace as a writeback cache run can
+only be cheaper (upgrading ``(p, 2) -> (p, 1)`` is free dirtying on the
+writeback side).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import RWPagingInstance, WritebackInstance
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import InvalidRequestError
+
+__all__ = [
+    "writeback_to_rw_instance",
+    "rw_to_writeback_instance",
+    "writeback_to_rw_sequence",
+    "rw_to_writeback_sequence",
+    "writeback_cost_of_rw_run",
+]
+
+WRITE_LEVEL = 1
+READ_LEVEL = 2
+
+
+def writeback_to_rw_instance(instance: WritebackInstance) -> RWPagingInstance:
+    """Map a writeback instance to its equivalent RW-paging instance."""
+    return RWPagingInstance(
+        instance.cache_size,
+        instance.dirty_weights.copy(),
+        instance.clean_weights.copy(),
+        name=f"{instance.name}|as-rw",
+    )
+
+
+def rw_to_writeback_instance(instance: RWPagingInstance) -> WritebackInstance:
+    """Map an RW-paging instance to its equivalent writeback instance."""
+    return WritebackInstance(
+        instance.cache_size,
+        instance.write_weights.copy(),
+        instance.read_weights.copy(),
+        name=f"{instance.name}|as-writeback",
+    )
+
+
+def writeback_to_rw_sequence(seq: WBRequestSequence) -> RequestSequence:
+    """Writes become requests for ``(p, 1)``, reads for ``(p, 2)``."""
+    levels = np.where(seq.writes, WRITE_LEVEL, READ_LEVEL).astype(np.int64)
+    return RequestSequence(seq.pages.copy(), levels)
+
+
+def rw_to_writeback_sequence(seq: RequestSequence) -> WBRequestSequence:
+    """Level-1 requests become writes, level-2 requests reads."""
+    if seq.levels.size and int(seq.levels.max()) > 2:
+        raise InvalidRequestError(
+            "RW-paging sequences may only use levels 1 and 2"
+        )
+    return WBRequestSequence(seq.pages.copy(), seq.levels == WRITE_LEVEL)
+
+
+def writeback_cost_of_rw_run(
+    instance: WritebackInstance,
+    seq: WBRequestSequence,
+    rw_trace: list[dict[int, int]],
+) -> float:
+    """Cost of the writeback solution induced by an RW cache trace.
+
+    ``rw_trace[t]`` is the RW cache (``page -> level``) *after* serving
+    request ``t`` of the RW image of ``seq``.  Per Lemma 2.1, the induced
+    writeback solution keeps page ``p`` cached exactly when some copy of
+    ``p`` is cached in the RW solution, and its cost is never higher: every
+    RW eviction of ``(p, i)`` maps to a writeback eviction costing at most
+    ``w_i(p)`` (dirty if the page was written since it was loaded and the RW
+    solution held the write copy), and an RW swap ``(p, 2) -> (p, 1)`` maps
+    to free dirtying.
+
+    Returns the exact writeback eviction cost of the induced solution,
+    assuming an initially empty cache.
+    """
+    if len(rw_trace) != len(seq):
+        raise InvalidRequestError(
+            f"trace length {len(rw_trace)} != sequence length {len(seq)}"
+        )
+    cost = 0.0
+    cached: dict[int, bool] = {}  # page -> dirty
+    for t, req in enumerate(seq):
+        state = rw_trace[t]
+        # Pages that left the RW cache are evicted on the writeback side.
+        for page in list(cached):
+            if page not in state:
+                cost += instance.eviction_cost(page, cached.pop(page))
+        # Pages that entered the RW cache are fetched clean.
+        for page in state:
+            if page not in cached:
+                cached[page] = False
+        # The served request dirties its page on a write.
+        if req.is_write:
+            if req.page not in cached:
+                raise InvalidRequestError(
+                    f"RW trace does not serve write request {t} for page {req.page}"
+                )
+            cached[req.page] = True
+    return cost

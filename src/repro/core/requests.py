@@ -1,0 +1,255 @@
+"""Request types and columnar request sequences.
+
+Two request vocabularies appear in the paper:
+
+* **Multi-level requests** ``(p, i)`` — page ``p`` at level ``i`` (level 1 is
+  the highest / most expensive).  A request ``(p, i)`` is served by any
+  cached copy ``(p, j)`` with ``j <= i``.  Weighted paging is the special
+  case ``i = 1`` everywhere, RW-paging the case ``i in {1, 2}``.
+* **Writeback requests** ``(p, is_write)`` — reads and writes against a
+  single-copy cache with dirty bits.
+
+Sequences are stored columnar (NumPy arrays) so that workload generation,
+trace IO and the simulator's hot loop stay vectorizable; iteration yields
+light-weight frozen dataclasses for algorithm code that wants objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidRequestError
+
+__all__ = [
+    "Request",
+    "WBRequest",
+    "RequestSequence",
+    "WBRequestSequence",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """A multi-level paging request for ``page`` at ``level`` (1-based)."""
+
+    page: int
+    level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.page < 0:
+            raise InvalidRequestError(f"page must be >= 0, got {self.page}")
+        if self.level < 1:
+            raise InvalidRequestError(f"level must be >= 1, got {self.level}")
+
+
+@dataclass(frozen=True, slots=True)
+class WBRequest:
+    """A writeback-aware caching request: a read or a write of ``page``."""
+
+    page: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.page < 0:
+            raise InvalidRequestError(f"page must be >= 0, got {self.page}")
+
+
+class RequestSequence(Sequence[Request]):
+    """An immutable columnar sequence of multi-level requests."""
+
+    __slots__ = ("_pages", "_levels")
+
+    def __init__(self, pages: np.ndarray, levels: np.ndarray) -> None:
+        pages = np.asarray(pages, dtype=np.int64)
+        levels = np.asarray(levels, dtype=np.int64)
+        if pages.ndim != 1 or levels.ndim != 1:
+            raise InvalidRequestError("pages and levels must be 1-d arrays")
+        if pages.shape != levels.shape:
+            raise InvalidRequestError(
+                f"pages and levels length mismatch: {pages.shape} vs {levels.shape}"
+            )
+        if pages.size and pages.min() < 0:
+            raise InvalidRequestError("pages must be non-negative")
+        if levels.size and levels.min() < 1:
+            raise InvalidRequestError("levels must be >= 1")
+        self._pages = pages
+        self._levels = levels
+        self._pages.setflags(write=False)
+        self._levels.setflags(write=False)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_requests(cls, requests: Iterable[Request]) -> "RequestSequence":
+        reqs = list(requests)
+        pages = np.fromiter((r.page for r in reqs), dtype=np.int64, count=len(reqs))
+        levels = np.fromiter((r.level for r in reqs), dtype=np.int64, count=len(reqs))
+        return cls(pages, levels)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "RequestSequence":
+        prs = list(pairs)
+        pages = np.fromiter((p for p, _ in prs), dtype=np.int64, count=len(prs))
+        levels = np.fromiter((i for _, i in prs), dtype=np.int64, count=len(prs))
+        return cls(pages, levels)
+
+    @classmethod
+    def from_pages(cls, pages: Iterable[int], level: int = 1) -> "RequestSequence":
+        """Build a single-level (weighted paging) sequence."""
+        arr = np.asarray(list(pages) if not isinstance(pages, np.ndarray) else pages,
+                         dtype=np.int64)
+        return cls(arr, np.full(arr.shape, level, dtype=np.int64))
+
+    # -- columnar access ---------------------------------------------------
+    @property
+    def pages(self) -> np.ndarray:
+        """Read-only int64 array of requested pages."""
+        return self._pages
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Read-only int64 array of requested levels (1-based)."""
+        return self._levels
+
+    def max_page(self) -> int:
+        """Largest page id referenced, or ``-1`` for the empty sequence."""
+        return int(self._pages.max()) if self._pages.size else -1
+
+    def max_level(self) -> int:
+        """Largest level referenced, or ``0`` for the empty sequence."""
+        return int(self._levels.max()) if self._levels.size else 0
+
+    def distinct_pages(self) -> int:
+        """Number of distinct pages referenced."""
+        return int(np.unique(self._pages).size)
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._pages.size)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return RequestSequence(self._pages[index], self._levels[index])
+        return Request(int(self._pages[index]), int(self._levels[index]))
+
+    def __iter__(self) -> Iterator[Request]:
+        for p, i in zip(self._pages.tolist(), self._levels.tolist()):
+            yield Request(p, i)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestSequence):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._pages, other._pages)
+            and np.array_equal(self._levels, other._levels)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._pages.tobytes(), self._levels.tobytes()))
+
+    def __add__(self, other: "RequestSequence") -> "RequestSequence":
+        if not isinstance(other, RequestSequence):
+            return NotImplemented
+        return RequestSequence(
+            np.concatenate([self._pages, other._pages]),
+            np.concatenate([self._levels, other._levels]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestSequence(len={len(self)}, pages<={self.max_page()}, "
+            f"levels<={self.max_level()})"
+        )
+
+
+class WBRequestSequence(Sequence[WBRequest]):
+    """An immutable columnar sequence of writeback-aware requests."""
+
+    __slots__ = ("_pages", "_writes")
+
+    def __init__(self, pages: np.ndarray, writes: np.ndarray) -> None:
+        pages = np.asarray(pages, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        if pages.ndim != 1 or writes.ndim != 1:
+            raise InvalidRequestError("pages and writes must be 1-d arrays")
+        if pages.shape != writes.shape:
+            raise InvalidRequestError(
+                f"pages and writes length mismatch: {pages.shape} vs {writes.shape}"
+            )
+        if pages.size and pages.min() < 0:
+            raise InvalidRequestError("pages must be non-negative")
+        self._pages = pages
+        self._writes = writes
+        self._pages.setflags(write=False)
+        self._writes.setflags(write=False)
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[WBRequest]) -> "WBRequestSequence":
+        reqs = list(requests)
+        pages = np.fromiter((r.page for r in reqs), dtype=np.int64, count=len(reqs))
+        writes = np.fromiter((r.is_write for r in reqs), dtype=bool, count=len(reqs))
+        return cls(pages, writes)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, bool]]) -> "WBRequestSequence":
+        prs = list(pairs)
+        pages = np.fromiter((p for p, _ in prs), dtype=np.int64, count=len(prs))
+        writes = np.fromiter((w for _, w in prs), dtype=bool, count=len(prs))
+        return cls(pages, writes)
+
+    @property
+    def pages(self) -> np.ndarray:
+        """Read-only int64 array of requested pages."""
+        return self._pages
+
+    @property
+    def writes(self) -> np.ndarray:
+        """Read-only bool array; ``True`` marks a write request."""
+        return self._writes
+
+    def max_page(self) -> int:
+        """Largest page id referenced, or ``-1`` for the empty sequence."""
+        return int(self._pages.max()) if self._pages.size else -1
+
+    def write_fraction(self) -> float:
+        """Fraction of requests that are writes (0.0 for empty sequences)."""
+        return float(self._writes.mean()) if self._writes.size else 0.0
+
+    def __len__(self) -> int:
+        return int(self._pages.size)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return WBRequestSequence(self._pages[index], self._writes[index])
+        return WBRequest(int(self._pages[index]), bool(self._writes[index]))
+
+    def __iter__(self) -> Iterator[WBRequest]:
+        for p, w in zip(self._pages.tolist(), self._writes.tolist()):
+            yield WBRequest(p, w)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WBRequestSequence):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._pages, other._pages)
+            and np.array_equal(self._writes, other._writes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._pages.tobytes(), self._writes.tobytes()))
+
+    def __add__(self, other: "WBRequestSequence") -> "WBRequestSequence":
+        if not isinstance(other, WBRequestSequence):
+            return NotImplemented
+        return WBRequestSequence(
+            np.concatenate([self._pages, other._pages]),
+            np.concatenate([self._writes, other._writes]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WBRequestSequence(len={len(self)}, pages<={self.max_page()}, "
+            f"write_fraction={self.write_fraction():.3f})"
+        )

@@ -1,0 +1,59 @@
+"""Typed exceptions for the :mod:`repro` package.
+
+Every error raised by library code derives from :class:`ReproError` so that
+callers can catch the package's failures with a single ``except`` clause
+while still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An instance definition violates the model's preconditions.
+
+    Examples: non-monotone level weights, weights below 1, a cache larger
+    than the page universe, or a non-positive cache size.
+    """
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A request refers to a page or level outside the instance."""
+
+
+class CacheOverflowError(ReproError, RuntimeError):
+    """A fetch was attempted into a cache that is already at capacity."""
+
+
+class CacheInvariantError(ReproError, RuntimeError):
+    """An internal cache invariant was violated.
+
+    Raised by the simulator's post-request verification (request not served,
+    more than one copy of a page, capacity exceeded) and by cache mutators
+    that are asked to do something inconsistent (evict an absent page,
+    fetch a second copy of a cached page).
+    """
+
+
+class InfeasibleError(ReproError, RuntimeError):
+    """A fractional state or LP turned out to be infeasible."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An underlying numerical solver failed to converge or errored."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A serialized trace file could not be parsed."""
+
+
+class StateSpaceTooLargeError(ReproError, ValueError):
+    """An exact offline computation was requested on too large an instance.
+
+    The exact dynamic program enumerates all feasible cache states; callers
+    must keep ``(n_levels + 1) ** n_pages`` within the configured budget or
+    fall back to the LP lower bound (:mod:`repro.offline.bounds`).
+    """

@@ -1,0 +1,35 @@
+"""Offline optima: LP relaxation, exact DP, Belady, bound selection."""
+
+from repro.offline.belady import belady_cost, next_use_indices
+from repro.offline.bounds import OptBound, best_opt_bound, lp_divisor
+from repro.offline.dp import (
+    DEFAULT_MAX_STATES,
+    enumerate_states,
+    offline_opt_multilevel,
+    offline_opt_writeback,
+)
+from repro.offline.dp import offline_opt_multilevel_trace
+from repro.offline.interval_lp import IntervalLPResult, solve_interval_lp
+from repro.offline.lp import (
+    OfflineLPResult,
+    fractional_offline_opt,
+    solve_offline_lp,
+)
+
+__all__ = [
+    "belady_cost",
+    "next_use_indices",
+    "OptBound",
+    "best_opt_bound",
+    "lp_divisor",
+    "DEFAULT_MAX_STATES",
+    "enumerate_states",
+    "offline_opt_multilevel",
+    "offline_opt_writeback",
+    "OfflineLPResult",
+    "fractional_offline_opt",
+    "solve_offline_lp",
+    "offline_opt_multilevel_trace",
+    "IntervalLPResult",
+    "solve_interval_lp",
+]

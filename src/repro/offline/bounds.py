@@ -1,0 +1,74 @@
+"""Choosing the strongest available lower bound on the offline optimum.
+
+Competitive ratios are measured against a *lower bound* on OPT so that the
+reported ratio is an upper bound on the true one.  Two bounds are
+available:
+
+* the exact DP (:mod:`repro.offline.dp`) — equals OPT, but only feasible
+  for small state spaces;
+* the LP relaxation (:mod:`repro.offline.lp`) — always feasible, but its
+  z-accounting over-charges integral solutions of multi-level instances
+  by up to a factor 2 (geometric weights) or ``l`` (general), so the bound
+  on the eviction-cost OPT is ``LP / divisor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instance import MultiLevelInstance
+from repro.core.requests import RequestSequence
+from repro.errors import StateSpaceTooLargeError
+from repro.offline.dp import DEFAULT_MAX_STATES, offline_opt_multilevel
+from repro.offline.lp import fractional_offline_opt
+
+__all__ = ["OptBound", "lp_divisor", "best_opt_bound"]
+
+
+@dataclass(frozen=True)
+class OptBound:
+    """A lower bound on the integral offline optimum (eviction cost)."""
+
+    value: float
+    method: str  # "dp" (exact) or "lp" (relaxation / divisor applied)
+
+    @property
+    def exact(self) -> bool:
+        """True when the bound equals OPT."""
+        return self.method == "dp"
+
+
+def lp_divisor(instance: MultiLevelInstance) -> float:
+    """Factor by which the LP's z-cost may exceed integral eviction cost."""
+    if instance.n_levels == 1:
+        return 1.0
+    if instance.has_geometric_levels():
+        return 2.0
+    return float(instance.n_levels)
+
+
+def best_opt_bound(
+    instance: MultiLevelInstance,
+    seq: RequestSequence,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+    prefer: str = "auto",
+) -> OptBound:
+    """Best available lower bound on the eviction-cost OPT of ``seq``.
+
+    ``prefer`` may be ``"auto"`` (exact DP when the state space fits,
+    else LP), ``"dp"`` (raise if infeasible) or ``"lp"``.
+    """
+    if prefer not in ("auto", "dp", "lp"):
+        raise ValueError(f"unknown preference {prefer!r}")
+    if prefer in ("auto", "dp"):
+        try:
+            return OptBound(
+                value=offline_opt_multilevel(instance, seq, max_states=max_states),
+                method="dp",
+            )
+        except StateSpaceTooLargeError:
+            if prefer == "dp":
+                raise
+    lp = fractional_offline_opt(instance, seq)
+    return OptBound(value=lp / lp_divisor(instance), method="lp")

@@ -1,0 +1,301 @@
+"""Exact integral offline optima by min-plus dynamic programming.
+
+For small instances the integral optimum is computed exactly by a DP over
+*all feasible cache states*.  A state assigns each page a level (0 = not
+cached); feasible states cache at most ``k`` pages.  Transitions may
+rearrange the cache arbitrarily; following the paper's cost convention
+only evictions are charged (a cached copy that leaves or changes level
+pays its weight; fetches are free).  The per-step recurrence
+
+    new_cost[b] = min_a ( cost[a] + trans[a, b] )    over states b serving
+                                                     the request
+
+is evaluated with vectorized NumPy min-plus products in column chunks.
+
+Two concrete DPs are provided:
+
+* :func:`offline_opt_multilevel` — multi-level paging (weighted paging and
+  RW-paging as special cases);
+* :func:`offline_opt_writeback` — writeback-aware caching in its *native*
+  state space (out / clean / dirty with the legal dirtying dynamics).
+
+Lemma 2.1 says the two give equal values on reduction-paired instances —
+an equality the test suite and experiment E7 verify.
+
+The state space has ``(l + 1)^n`` raw states; callers must keep
+``n`` small (``<= max_states`` after filtering) or a
+:class:`~repro.errors.StateSpaceTooLargeError` is raised.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.core.instance import MultiLevelInstance, WritebackInstance
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import StateSpaceTooLargeError
+
+__all__ = [
+    "enumerate_states",
+    "offline_opt_multilevel",
+    "offline_opt_writeback",
+]
+
+_INF = np.inf
+DEFAULT_MAX_STATES = 20_000
+
+
+def enumerate_states(
+    n_pages: int, n_levels: int, cache_size: int, max_states: int = DEFAULT_MAX_STATES
+) -> np.ndarray:
+    """All cache states as an ``(S, n)`` int8 array of levels (0 = absent)."""
+    raw = (n_levels + 1) ** n_pages
+    if raw > 50_000_000:
+        raise StateSpaceTooLargeError(
+            f"(l+1)^n = {raw} raw states; the exact DP needs a smaller instance"
+        )
+    states = [
+        s
+        for s in product(range(n_levels + 1), repeat=n_pages)
+        if sum(1 for x in s if x > 0) <= cache_size
+    ]
+    if len(states) > max_states:
+        raise StateSpaceTooLargeError(
+            f"{len(states)} feasible states exceed the limit {max_states}; "
+            "use the LP bound instead (repro.offline.bounds)"
+        )
+    return np.array(states, dtype=np.int8)
+
+
+def _transition_costs(
+    states: np.ndarray, level_cost: np.ndarray, chunk: int = 128
+) -> np.ndarray:
+    """``(S, S)`` eviction cost of moving between states.
+
+    ``level_cost[p, j]`` is the cost of copy ``(p, j)`` leaving the cache
+    (``level_cost[p, 0] = 0`` for absent pages).  A copy pays when its
+    page's level changes or it leaves.
+    """
+    S, n = states.shape
+    out = np.empty((S, S), dtype=np.float64)
+    # Cost of the copies of state a, gathered once: (S, n).
+    pages = np.arange(n)
+    cost_a = level_cost[pages[None, :], states.astype(np.int64)]
+    for lo in range(0, S, chunk):
+        hi = min(lo + chunk, S)
+        differs = states[lo:hi, None, :] != states[None, :, :]  # (c, S, n)
+        out[lo:hi] = np.einsum(
+            "cn,csn->cs", cost_a[lo:hi], differs, optimize=True
+        )
+    return out
+
+
+def _minplus_run(
+    trans: np.ndarray,
+    serve_masks: np.ndarray,
+    start_cost: np.ndarray,
+    chunk: int = 512,
+    *,
+    backpointers: list[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Run the DP; returns the final cost vector over states.
+
+    When ``backpointers`` is a list, one argmin array per time step is
+    appended to it (entries are -1 for unreachable states), allowing the
+    optimal state trace to be reconstructed.
+    """
+    cost = start_cost
+    S = trans.shape[0]
+    for mask in serve_masks:
+        new = np.full(S, _INF)
+        back = np.full(S, -1, dtype=np.int64) if backpointers is not None else None
+        idx = np.flatnonzero(mask)
+        for lo in range(0, idx.size, chunk):
+            sel = idx[lo : lo + chunk]
+            totals = trans[:, sel] + cost[:, None]
+            arg = totals.argmin(axis=0)
+            new[sel] = totals[arg, np.arange(sel.size)]
+            if back is not None:
+                back[sel] = arg
+        if backpointers is not None:
+            backpointers.append(back)
+        cost = new
+    return cost
+
+
+def offline_opt_multilevel(
+    instance: MultiLevelInstance,
+    seq: RequestSequence,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> float:
+    """Exact integral offline optimum for multi-level paging.
+
+    Starts from the empty cache; only evictions are charged (copies left
+    in the cache at the end are free, matching the online simulator).
+    """
+    instance.validate_sequence(seq.pages, seq.levels)
+    if len(seq) == 0:
+        return 0.0
+    n, l, k = instance.n_pages, instance.n_levels, instance.cache_size
+    states = enumerate_states(n, l, k, max_states)
+    S = states.shape[0]
+
+    # level_cost[p, j]: eviction cost of copy (p, j); j = 0 -> absent, 0.
+    level_cost = np.zeros((n, l + 1), dtype=np.float64)
+    level_cost[:, 1:] = instance.weights
+    trans = _transition_costs(states, level_cost)
+
+    serve_masks = np.stack(
+        [
+            (states[:, p] > 0) & (states[:, p] <= i)
+            for p, i in zip(seq.pages.tolist(), seq.levels.tolist())
+        ]
+    )
+    start = np.full(S, _INF)
+    empty = int(np.flatnonzero((states == 0).all(axis=1))[0])
+    start[empty] = 0.0
+    final = _minplus_run(trans, serve_masks, start)
+    return float(final.min())
+
+
+def offline_opt_multilevel_trace(
+    instance: MultiLevelInstance,
+    seq: RequestSequence,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> tuple[float, list[dict[int, int]]]:
+    """Exact optimum *and* an optimal cache trace.
+
+    Returns ``(value, trace)`` where ``trace[t]`` is the OPT cache
+    (``page -> level``) after serving request ``t``.  Used by the
+    potential-function verifier (:mod:`repro.analysis.potentials`).
+    """
+    instance.validate_sequence(seq.pages, seq.levels)
+    if len(seq) == 0:
+        return 0.0, []
+    n, l, k = instance.n_pages, instance.n_levels, instance.cache_size
+    states = enumerate_states(n, l, k, max_states)
+    S = states.shape[0]
+    level_cost = np.zeros((n, l + 1), dtype=np.float64)
+    level_cost[:, 1:] = instance.weights
+    trans = _transition_costs(states, level_cost)
+    serve_masks = np.stack(
+        [
+            (states[:, p] > 0) & (states[:, p] <= i)
+            for p, i in zip(seq.pages.tolist(), seq.levels.tolist())
+        ]
+    )
+    start = np.full(S, _INF)
+    empty = int(np.flatnonzero((states == 0).all(axis=1))[0])
+    start[empty] = 0.0
+    backs: list[np.ndarray] = []
+    final = _minplus_run(trans, serve_masks, start, backpointers=backs)
+    end = int(final.argmin())
+    # Walk backpointers from the end state to recover the trace.
+    state_indices = [end]
+    cur = end
+    for back in reversed(backs[1:]):  # backs[0] points into the start vector
+        cur = int(back[cur])
+        state_indices.append(cur)
+    state_indices.reverse()
+    trace = [
+        {p: int(lvl) for p, lvl in enumerate(states[s]) if lvl > 0}
+        for s in state_indices
+    ]
+    return float(final[end]), trace
+
+
+# Writeback state encoding: 0 = out, 1 = clean, 2 = dirty.
+_WB_OUT, _WB_CLEAN, _WB_DIRTY = 0, 1, 2
+
+
+def _wb_transition_costs(
+    states: np.ndarray, instance: WritebackInstance, chunk: int = 128
+) -> np.ndarray:
+    """Writeback transition costs with the legal dirtying dynamics.
+
+    * clean -> out costs ``w2``; dirty -> out costs ``w1``;
+    * dirty -> clean costs ``w1`` (writeback then refetch clean);
+    * clean -> dirty and out -> dirty are *illegal* between requests
+      (a page only becomes dirty through a served write, which the DP
+      applies as a separate forced map) -> infinite cost;
+    * everything else is free.
+    """
+    S, n = states.shape
+    w1, w2 = instance.dirty_weights, instance.clean_weights
+    out = np.empty((S, S), dtype=np.float64)
+    # Per-page cost table c[a_state, b_state] built per page via lookup:
+    # cost_tab[p, a, b].
+    cost_tab = np.zeros((n, 3, 3), dtype=np.float64)
+    for p in range(n):
+        cost_tab[p, _WB_CLEAN, _WB_OUT] = w2[p]
+        cost_tab[p, _WB_DIRTY, _WB_OUT] = w1[p]
+        cost_tab[p, _WB_DIRTY, _WB_CLEAN] = w1[p]
+        cost_tab[p, _WB_CLEAN, _WB_DIRTY] = _INF
+        cost_tab[p, _WB_OUT, _WB_DIRTY] = _INF
+    pages = np.arange(n)
+    st = states.astype(np.int64)
+    for lo in range(0, S, chunk):
+        hi = min(lo + chunk, S)
+        # (c, S, n) gather of per-page costs, then sum over pages.
+        per_page = cost_tab[
+            pages[None, None, :], st[lo:hi, None, :], st[None, :, :]
+        ]
+        out[lo:hi] = per_page.sum(axis=2)
+    return out
+
+
+def offline_opt_writeback(
+    instance: WritebackInstance,
+    seq: WBRequestSequence,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> float:
+    """Exact integral offline optimum for writeback-aware caching.
+
+    Native three-valued state space (out / clean / dirty).  After a served
+    write the page is forced dirty at zero cost — the dirtying is part of
+    the request semantics, not a transition the DP may refuse.
+    """
+    n, k = instance.n_pages, instance.cache_size
+    if len(seq) and seq.max_page() >= n:
+        instance.check_page(seq.max_page())
+    states = enumerate_states(n, 2, k, max_states)
+    S = states.shape[0]
+    trans = _wb_transition_costs(states, instance)
+
+    # Forced dirtying maps: dirty_map[p][s] = index of s with s_p := dirty.
+    index_of = {tuple(row): i for i, row in enumerate(states.tolist())}
+    dirty_map = np.empty((n, S), dtype=np.int64)
+    for p in range(n):
+        for s_idx, row in enumerate(states.tolist()):
+            if row[p] == _WB_OUT:
+                dirty_map[p, s_idx] = -1  # unreachable when serving p
+            else:
+                target = list(row)
+                target[p] = _WB_DIRTY
+                dirty_map[p, s_idx] = index_of[tuple(target)]
+
+    cost = np.full(S, _INF)
+    empty = int(np.flatnonzero((states == 0).all(axis=1))[0])
+    cost[empty] = 0.0
+
+    for page, is_write in zip(seq.pages.tolist(), seq.writes.tolist()):
+        serves = states[:, page] != _WB_OUT
+        new = np.full(S, _INF)
+        idx = np.flatnonzero(serves)
+        for lo in range(0, idx.size, 512):
+            sel = idx[lo : lo + 512]
+            new[sel] = (trans[:, sel] + cost[:, None]).min(axis=0)
+        if is_write:
+            forced = np.full(S, _INF)
+            for s_idx in idx:
+                target = dirty_map[page, s_idx]
+                if new[s_idx] < forced[target]:
+                    forced[target] = new[s_idx]
+            new = forced
+        cost = new
+    return float(cost.min())

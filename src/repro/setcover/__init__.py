@@ -1,0 +1,45 @@
+"""Set cover substrate and the Section 3 lower-bound reduction."""
+
+from repro.setcover.hardness import HardFamily, hard_instance_family
+from repro.setcover.instance import (
+    SetSystem,
+    planted_cover_system,
+    random_system,
+)
+from repro.setcover.offline import greedy_cover, lp_cover_value
+from repro.setcover.online import (
+    OnlineFractionalSetCover,
+    OnlineRandomizedSetCover,
+)
+from repro.setcover.phased import (
+    PhasedReduction,
+    phase_covers,
+    phased_reduction,
+)
+from repro.setcover.reduction import (
+    SetCoverReduction,
+    completeness_bound,
+    default_repetitions,
+    extract_cover,
+    reduce_to_rw_paging,
+)
+
+__all__ = [
+    "SetSystem",
+    "planted_cover_system",
+    "random_system",
+    "greedy_cover",
+    "lp_cover_value",
+    "OnlineFractionalSetCover",
+    "OnlineRandomizedSetCover",
+    "HardFamily",
+    "hard_instance_family",
+    "PhasedReduction",
+    "phase_covers",
+    "phased_reduction",
+    "SetCoverReduction",
+    "completeness_bound",
+    "default_repetitions",
+    "extract_cover",
+    "reduce_to_rw_paging",
+]

@@ -1,0 +1,90 @@
+"""Hard online set cover instances (the Feige-Korman substitution).
+
+Theorem 3.4 of the paper invokes Feige and Korman's reduction, which maps
+an NP-hard offline set cover instance to a *family* of online request
+sequences over one set system such that any (polynomial-time) online
+algorithm must, in expectation over a random sequence from the family,
+use ``Omega(c log N)`` sets while each sequence has an offline cover of
+size ``c``.
+
+Reproducing the NP-hardness machinery is out of scope (and pointless to
+*run* — its strength is the reduction, which we implement verbatim in
+:mod:`repro.setcover.reduction`).  What the experiments need is the same
+*shape*: a set system plus a distribution over request sequences where
+
+* every sequence has a small known offline cover (planted),
+* an online algorithm cannot tell early which planted block a sequence
+  will exercise, so it commits to extra sets.
+
+:func:`hard_instance_family` delivers exactly that: a planted-cover
+system (see :func:`repro.setcover.instance.planted_cover_system`) and
+``q`` random interleavings of elements, each touching all planted blocks
+in a random order with decoy-favoring prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.setcover.instance import SetSystem, planted_cover_system
+from repro.workloads.base import as_generator
+
+__all__ = ["HardFamily", "hard_instance_family"]
+
+
+@dataclass(frozen=True)
+class HardFamily:
+    """A set system with a planted cover and request sequences over it."""
+
+    system: SetSystem
+    planted_cover: tuple[int, ...]
+    sequences: tuple[tuple[int, ...], ...]
+
+    @property
+    def optimal_cover_size(self) -> int:
+        """Size of the planted cover (an upper bound on every sequence's OPT)."""
+        return len(self.planted_cover)
+
+
+def hard_instance_family(
+    n_elements: int,
+    n_sets: int,
+    cover_size: int,
+    *,
+    n_sequences: int = 8,
+    requests_per_sequence: int | None = None,
+    rng=None,
+) -> HardFamily:
+    """A planted-cover system with ``n_sequences`` random element orders.
+
+    Each sequence samples elements so that every planted block is touched
+    (keeping the planted cover necessary) but in an order that reveals the
+    blocks only gradually — the property that makes the online problem
+    strictly harder than the offline one.
+    """
+    gen = as_generator(rng)
+    system, planted = planted_cover_system(
+        n_elements, n_sets, cover_size, rng=gen
+    )
+    t = requests_per_sequence or max(n_elements // 2, cover_size)
+    member = system.membership
+
+    sequences: list[tuple[int, ...]] = []
+    for _ in range(n_sequences):
+        # Touch each planted block at least once, in random order, then
+        # fill with uniform random elements; shuffle block reveal points.
+        forced = [
+            int(gen.choice(np.flatnonzero(member[b])))
+            for b in gen.permutation(planted)
+        ]
+        fill = gen.integers(0, n_elements, size=max(0, t - len(forced))).tolist()
+        seq = forced + fill
+        order = gen.permutation(len(seq))
+        sequences.append(tuple(int(seq[i]) for i in order))
+    return HardFamily(
+        system=system,
+        planted_cover=tuple(planted),
+        sequences=tuple(sequences),
+    )

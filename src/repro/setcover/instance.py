@@ -1,0 +1,153 @@
+"""Set systems for the online set cover problem (Definition 3.1).
+
+A :class:`SetSystem` holds a universe ``U = {0..n-1}`` and a family of
+``m`` subsets, stored both as frozensets (algorithm-friendly) and as a
+boolean membership matrix (vectorization-friendly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.workloads.base import as_generator
+
+__all__ = ["SetSystem", "random_system", "planted_cover_system"]
+
+
+class SetSystem:
+    """A set system ``(U, F)`` with ``|U| = n_elements`` and ``|F| = n_sets``."""
+
+    __slots__ = ("_sets", "_membership", "n_elements")
+
+    def __init__(self, n_elements: int, sets: Sequence[Iterable[int]]) -> None:
+        if n_elements < 1:
+            raise InvalidInstanceError("universe must be non-empty")
+        if len(sets) < 1:
+            raise InvalidInstanceError("family must contain at least one set")
+        self.n_elements = int(n_elements)
+        self._sets = tuple(frozenset(int(e) for e in s) for s in sets)
+        for i, s in enumerate(self._sets):
+            if not s:
+                raise InvalidInstanceError(f"set {i} is empty")
+            if min(s) < 0 or max(s) >= n_elements:
+                raise InvalidInstanceError(f"set {i} references elements outside U")
+        self._membership = np.zeros((len(self._sets), n_elements), dtype=bool)
+        for i, s in enumerate(self._sets):
+            self._membership[i, list(s)] = True
+        self._membership.setflags(write=False)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets ``m`` in the family."""
+        return len(self._sets)
+
+    @property
+    def sets(self) -> tuple[frozenset[int], ...]:
+        """The family as frozensets."""
+        return self._sets
+
+    @property
+    def membership(self) -> np.ndarray:
+        """Read-only ``(m, n)`` boolean matrix; ``[i, e]`` iff ``e in S_i``."""
+        return self._membership
+
+    def sets_containing(self, element: int) -> np.ndarray:
+        """Indices of sets containing ``element``."""
+        self.check_element(element)
+        return np.flatnonzero(self._membership[:, element])
+
+    def sets_avoiding(self, element: int) -> np.ndarray:
+        """Indices of sets *not* containing ``element`` (the paper's F-bar)."""
+        self.check_element(element)
+        return np.flatnonzero(~self._membership[:, element])
+
+    def check_element(self, element: int) -> None:
+        """Raise unless ``element`` is in the universe."""
+        if not 0 <= element < self.n_elements:
+            raise InvalidInstanceError(
+                f"element {element} outside universe [0, {self.n_elements})"
+            )
+
+    def is_cover(self, cover: Iterable[int], elements: Iterable[int]) -> bool:
+        """True if the chosen sets cover every requested element."""
+        chosen = set(cover)
+        covered: set[int] = set()
+        for i in chosen:
+            covered |= self._sets[i]
+        return all(e in covered for e in elements)
+
+    def coverable(self, elements: Iterable[int]) -> bool:
+        """True if every requested element lies in at least one set."""
+        any_cover = self._membership.any(axis=0)
+        return all(any_cover[e] for e in elements)
+
+    def __repr__(self) -> str:
+        return f"SetSystem(n={self.n_elements}, m={self.n_sets})"
+
+
+def random_system(
+    n_elements: int, n_sets: int, *, density: float = 0.3, rng=None
+) -> SetSystem:
+    """A random set system where each set contains each element i.i.d.
+
+    Elements left uncovered by chance are patched into a random set, so
+    every element is coverable.
+    """
+    if not 0.0 < density <= 1.0:
+        raise InvalidInstanceError(f"density must be in (0, 1], got {density}")
+    gen = as_generator(rng)
+    member = gen.random((n_sets, n_elements)) < density
+    # Patch empty sets and uncovered elements.
+    for i in range(n_sets):
+        if not member[i].any():
+            member[i, gen.integers(0, n_elements)] = True
+    for e in np.flatnonzero(~member.any(axis=0)):
+        member[gen.integers(0, n_sets), e] = True
+    return SetSystem(n_elements, [np.flatnonzero(row) for row in member])
+
+
+def planted_cover_system(
+    n_elements: int,
+    n_sets: int,
+    cover_size: int,
+    *,
+    decoy_density: float = 0.25,
+    rng=None,
+) -> tuple[SetSystem, list[int]]:
+    """A system with a planted optimal cover of known size.
+
+    ``cover_size`` sets partition the universe (the planted cover); the
+    remaining sets are random "decoys" that each cover a ``decoy_density``
+    fraction of elements but are arranged to never complete a cover more
+    cheaply (each decoy misses at least one planted block entirely).
+
+    Returns ``(system, planted_cover_indices)``.  The planted cover's size
+    is an upper bound on the offline optimum; for small instances the
+    exact optimum can be confirmed with the LP / greedy.
+    """
+    if not 1 <= cover_size <= n_sets:
+        raise InvalidInstanceError(
+            f"cover_size must be in [1, {n_sets}], got {cover_size}"
+        )
+    gen = as_generator(rng)
+    # Partition the universe into cover_size blocks.
+    perm = gen.permutation(n_elements)
+    blocks = np.array_split(perm, cover_size)
+    sets: list[np.ndarray] = [np.sort(b) for b in blocks]
+    for _ in range(n_sets - cover_size):
+        # A decoy avoids one whole block so no small decoy-only cover exists.
+        avoid = int(gen.integers(0, cover_size))
+        allowed = np.concatenate(
+            [blocks[j] for j in range(cover_size) if j != avoid]
+        ) if cover_size > 1 else np.array([], dtype=np.int64)
+        if allowed.size == 0:
+            take = np.array([int(blocks[0][0])])
+        else:
+            size = max(1, int(round(decoy_density * allowed.size)))
+            take = gen.choice(allowed, size=min(size, allowed.size), replace=False)
+        sets.append(np.sort(take))
+    planted = list(range(cover_size))
+    return SetSystem(n_elements, sets), planted

@@ -1,0 +1,104 @@
+"""Online set cover: the fractional multiplicative-weights algorithm and
+its randomized rounding (Alon, Awerbuch, Azar, Buchbinder, Naor).
+
+This is the problem that writeback-aware caching *encodes* (Section 3 of
+the paper); it is implemented here both as a standalone substrate and to
+drive the lower-bound experiments.
+
+* :class:`OnlineFractionalSetCover` — O(log m)-competitive fractional:
+  when an uncovered element ``e`` arrives, the weights of the ``d`` sets
+  containing it are inflated ``x_S <- x_S (1 + 1/d) + 1/(d m)`` until
+  ``sum_{S ni e} x_S >= 1``.
+* :class:`OnlineRandomizedSetCover` — rounds the fractional solution with
+  per-set minimum-of-``Theta(log n)``-uniforms thresholds (a set enters
+  the cover when its fraction passes its threshold), plus a deterministic
+  patch that keeps the cover feasible on the low-probability miss —
+  O(log m log n) expected sets in total.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InfeasibleError
+from repro.setcover.instance import SetSystem
+from repro.workloads.base import as_generator
+
+__all__ = ["OnlineFractionalSetCover", "OnlineRandomizedSetCover"]
+
+
+class OnlineFractionalSetCover:
+    """Multiplicative-weights online fractional set cover."""
+
+    def __init__(self, system: SetSystem) -> None:
+        self.system = system
+        self.x = np.zeros(system.n_sets, dtype=np.float64)
+
+    @property
+    def fractional_cost(self) -> float:
+        """Current ``|x|_1``."""
+        return float(self.x.sum())
+
+    def cover_mass(self, element: int) -> float:
+        """``sum_{S ni e} x_S`` for the element."""
+        return float(self.x[self.system.sets_containing(element)].sum())
+
+    def arrive(self, element: int) -> float:
+        """Process an element arrival; returns the increase of ``|x|_1``."""
+        containing = self.system.sets_containing(element)
+        if containing.size == 0:
+            raise InfeasibleError(f"element {element} is contained in no set")
+        before = self.x.sum()
+        d = containing.size
+        m = self.system.n_sets
+        while self.x[containing].sum() < 1.0:
+            self.x[containing] = self.x[containing] * (1.0 + 1.0 / d) + 1.0 / (d * m)
+        return float(self.x.sum() - before)
+
+
+class OnlineRandomizedSetCover:
+    """Fractional algorithm + threshold rounding; integral online cover."""
+
+    def __init__(self, system: SetSystem, *, rounds: int | None = None,
+                 rng=None) -> None:
+        self.system = system
+        self.fractional = OnlineFractionalSetCover(system)
+        gen = as_generator(rng)
+        n = system.n_elements
+        r = rounds if rounds is not None else max(1, math.ceil(2.0 * math.log(n + 1)))
+        # theta_S = min of r uniforms: P(x >= theta) = 1 - (1-x)^r ~ r*x.
+        self.thresholds = gen.random((system.n_sets, r)).min(axis=1)
+        self.cover: set[int] = set()
+        self.n_patches = 0
+
+    @property
+    def cover_size(self) -> int:
+        """Number of sets chosen so far."""
+        return len(self.cover)
+
+    def _covered(self, element: int) -> bool:
+        return any(
+            element in self.system.sets[i] for i in self.cover
+        )
+
+    def arrive(self, element: int) -> None:
+        """Process an element arrival, keeping the integral cover feasible."""
+        self.fractional.arrive(element)
+        # Threshold rule: pick up every set whose fraction passed theta.
+        passed = np.flatnonzero(self.fractional.x >= self.thresholds)
+        self.cover.update(int(i) for i in passed)
+        if not self._covered(element):
+            # Low-probability patch: deterministically add the set with the
+            # largest fraction among those containing the element.
+            containing = self.system.sets_containing(element)
+            best = int(containing[np.argmax(self.fractional.x[containing])])
+            self.cover.add(best)
+            self.n_patches += 1
+
+    def run(self, elements) -> set[int]:
+        """Process a whole element sequence; returns the final cover."""
+        for e in elements:
+            self.arrive(int(e))
+        return set(self.cover)

@@ -1,0 +1,33 @@
+"""Simulation engine: verifying simulator, metrics, seeding, sweep runner."""
+
+from repro.sim.metrics import RunResult, SeedAggregate, aggregate_runs
+from repro.sim.mrc import (
+    FenwickTree,
+    lru_miss_curve,
+    opt_miss_curve,
+    stack_distances,
+)
+from repro.sim.replay import replay_solution, replay_writeback_solution
+from repro.sim.runner import RunSpec, SweepResult, run_spec, run_sweep
+from repro.sim.seeding import spawn_generators, spawn_seeds
+from repro.sim.simulator import simulate, simulate_writeback
+
+__all__ = [
+    "FenwickTree",
+    "lru_miss_curve",
+    "opt_miss_curve",
+    "stack_distances",
+    "RunResult",
+    "SeedAggregate",
+    "aggregate_runs",
+    "replay_solution",
+    "replay_writeback_solution",
+    "RunSpec",
+    "SweepResult",
+    "run_spec",
+    "run_sweep",
+    "spawn_generators",
+    "spawn_seeds",
+    "simulate",
+    "simulate_writeback",
+]

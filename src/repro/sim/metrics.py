@@ -1,0 +1,83 @@
+"""Run results and aggregation over seeds."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ledger import EvictionRecord
+
+__all__ = ["RunResult", "SeedAggregate", "aggregate_runs"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of simulating one policy over one request sequence."""
+
+    policy: str
+    cost: float
+    n_requests: int
+    n_hits: int
+    n_misses: int
+    n_evictions: int
+    n_fetches: int
+    cost_by_reason: dict[str, float] = field(default_factory=dict)
+    events: list[EvictionRecord] = field(default_factory=list)
+    final_cache: dict[int, int] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without cache changes."""
+        return self.n_hits / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Complement of :attr:`hit_rate`."""
+        return 1.0 - self.hit_rate if self.n_requests else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(policy={self.policy!r}, cost={self.cost:.3f}, "
+            f"hit_rate={self.hit_rate:.3f}, evictions={self.n_evictions})"
+        )
+
+
+@dataclass(frozen=True)
+class SeedAggregate:
+    """Mean/stderr summary of a metric across seeded runs."""
+
+    policy: str
+    n_runs: int
+    mean_cost: float
+    std_cost: float
+    min_cost: float
+    max_cost: float
+    mean_hit_rate: float
+
+    @property
+    def stderr_cost(self) -> float:
+        """Standard error of the mean cost."""
+        return self.std_cost / math.sqrt(self.n_runs) if self.n_runs > 1 else 0.0
+
+
+def aggregate_runs(results: list[RunResult]) -> SeedAggregate:
+    """Summarize repeated runs of the same policy (e.g. over seeds)."""
+    if not results:
+        raise ValueError("cannot aggregate an empty result list")
+    names = {r.policy for r in results}
+    if len(names) != 1:
+        raise ValueError(f"mixed policies in aggregate: {sorted(names)}")
+    costs = np.array([r.cost for r in results], dtype=np.float64)
+    hits = np.array([r.hit_rate for r in results], dtype=np.float64)
+    return SeedAggregate(
+        policy=results[0].policy,
+        n_runs=len(results),
+        mean_cost=float(costs.mean()),
+        std_cost=float(costs.std(ddof=1)) if len(results) > 1 else 0.0,
+        min_cost=float(costs.min()),
+        max_cost=float(costs.max()),
+        mean_hit_rate=float(hits.mean()),
+    )

@@ -1,0 +1,115 @@
+"""Replaying and validating explicit cache-state solutions.
+
+A *solution trace* is a list of cache states (``page -> level``), one per
+request, as produced by :func:`repro.offline.offline_opt_multilevel_trace`
+or by hand.  :func:`replay_solution` checks the trace is feasible (serves
+every request, respects capacity and the one-copy rule) and returns its
+exact eviction cost — turning any claimed solution into a verifiable
+certificate.  :func:`replay_writeback_solution` is the writeback-aware
+analogue, deriving dirty bits from the request stream (a page is dirty
+iff written since it last entered the cache).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.instance import MultiLevelInstance, WritebackInstance
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import CacheInvariantError
+
+__all__ = ["replay_solution", "replay_writeback_solution"]
+
+
+def _check_state(instance: MultiLevelInstance, state: dict[int, int],
+                 t: int) -> None:
+    if len(state) > instance.cache_size:
+        raise CacheInvariantError(
+            f"t={t}: state holds {len(state)} copies, capacity "
+            f"{instance.cache_size}"
+        )
+    for page, level in state.items():
+        instance.check_copy(page, level)
+
+
+def replay_solution(
+    instance: MultiLevelInstance,
+    seq: RequestSequence,
+    trace: Sequence[dict[int, int]],
+) -> float:
+    """Validate a multi-level solution trace; returns its eviction cost.
+
+    ``trace[t]`` is the cache after serving request ``t``; the run starts
+    from the empty cache.  Raises :class:`CacheInvariantError` on any
+    violation (unserved request, overflow, bad copy).
+    """
+    if len(trace) != len(seq):
+        raise CacheInvariantError(
+            f"trace length {len(trace)} != sequence length {len(seq)}"
+        )
+    cost = 0.0
+    prev: dict[int, int] = {}
+    for t, req in enumerate(seq):
+        state = dict(trace[t])
+        _check_state(instance, state, t)
+        lvl = state.get(req.page)
+        if lvl is None or lvl > req.level:
+            raise CacheInvariantError(
+                f"t={t}: request (page={req.page}, level={req.level}) unserved"
+            )
+        for page, old_level in prev.items():
+            if state.get(page) != old_level:
+                cost += instance.weight(page, old_level)
+        prev = state
+    return cost
+
+
+def replay_writeback_solution(
+    instance: WritebackInstance,
+    seq: WBRequestSequence,
+    trace: Sequence[dict[int, bool] | set[int] | frozenset[int]],
+) -> float:
+    """Validate a writeback solution trace; returns its eviction cost.
+
+    ``trace[t]`` may be a set of cached pages (dirty bits derived from the
+    request stream: a page is dirty iff some write touched it since its
+    current residency began) or a ``page -> dirty`` mapping, in which case
+    the claimed bits are checked against the derived ones.
+    """
+    if len(trace) != len(seq):
+        raise CacheInvariantError(
+            f"trace length {len(trace)} != sequence length {len(seq)}"
+        )
+    cost = 0.0
+    dirty: dict[int, bool] = {}
+    for t, req in enumerate(seq):
+        raw = trace[t]
+        pages = set(raw.keys()) if isinstance(raw, dict) else set(raw)
+        if len(pages) > instance.cache_size:
+            raise CacheInvariantError(
+                f"t={t}: {len(pages)} pages cached, capacity "
+                f"{instance.cache_size}"
+            )
+        for page in pages:
+            instance.check_page(page)
+        if req.page not in pages:
+            raise CacheInvariantError(
+                f"t={t}: request for page {req.page} unserved"
+            )
+        # Evictions (pay by derived dirtiness), then admissions (clean).
+        for page in list(dirty):
+            if page not in pages:
+                cost += instance.eviction_cost(page, dirty.pop(page))
+        for page in pages:
+            dirty.setdefault(page, False)
+        if req.is_write:
+            dirty[req.page] = True
+        if isinstance(raw, dict):
+            for page, claimed in raw.items():
+                if bool(claimed) != dirty[page]:
+                    raise CacheInvariantError(
+                        f"t={t}: page {page} claimed "
+                        f"{'dirty' if claimed else 'clean'} but is "
+                        f"{'dirty' if dirty[page] else 'clean'}"
+                    )
+    return cost

@@ -1,0 +1,26 @@
+"""Deterministic seed streams for parameter sweeps.
+
+Seeds are derived with :class:`numpy.random.SeedSequence` spawning, so
+
+* the same master seed reproduces every run of a sweep,
+* runs are statistically independent of each other,
+* adding runs to a sweep never changes the seeds of existing runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_generators", "spawn_seeds"]
+
+
+def spawn_seeds(master_seed: int, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences of a master seed."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return np.random.SeedSequence(master_seed).spawn(count)
+
+
+def spawn_generators(master_seed: int, count: int) -> list[np.random.Generator]:
+    """``count`` independent generators derived from a master seed."""
+    return [np.random.default_rng(s) for s in spawn_seeds(master_seed, count)]

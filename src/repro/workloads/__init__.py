@@ -1,0 +1,64 @@
+"""Workload generators: synthetic, writeback, multi-level, adversarial, traces."""
+
+from repro.workloads.adversarial import (
+    chase_misses,
+    cyclic_nemesis,
+    weighted_phase_adversary,
+)
+from repro.workloads.base import as_generator, sample_weights, zipf_probabilities
+from repro.workloads.multilevel import (
+    geometric_instance,
+    multilevel_stream,
+    optane_stream,
+    random_multilevel_instance,
+)
+from repro.workloads.synthetic import (
+    loop_stream,
+    markov_stream,
+    mixture_stream,
+    scan_stream,
+    uniform_stream,
+    working_set_stream,
+    zipf_stream,
+)
+from repro.workloads.stats import (
+    WorkloadProfile,
+    profile_sequence,
+    profile_wb_sequence,
+)
+from repro.workloads.traces import dumps_trace, load_trace, loads_trace, save_trace
+from repro.workloads.writeback import (
+    hot_writer_stream,
+    logging_stream,
+    readwrite_stream,
+)
+
+__all__ = [
+    "as_generator",
+    "sample_weights",
+    "zipf_probabilities",
+    "uniform_stream",
+    "zipf_stream",
+    "scan_stream",
+    "working_set_stream",
+    "markov_stream",
+    "loop_stream",
+    "mixture_stream",
+    "readwrite_stream",
+    "hot_writer_stream",
+    "logging_stream",
+    "geometric_instance",
+    "random_multilevel_instance",
+    "multilevel_stream",
+    "optane_stream",
+    "cyclic_nemesis",
+    "chase_misses",
+    "weighted_phase_adversary",
+    "WorkloadProfile",
+    "profile_sequence",
+    "profile_wb_sequence",
+    "dumps_trace",
+    "loads_trace",
+    "save_trace",
+    "load_trace",
+]

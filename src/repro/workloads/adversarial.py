@@ -1,0 +1,101 @@
+"""Adversarial request streams.
+
+These are the sequences that force online policies toward their worst-case
+competitive ratios: cyclic scans over ``k + 1`` pages (the deterministic
+nemesis behind the Sleator–Tarjan k lower bound), adaptive miss-chasing
+sequences against a concrete deterministic policy, and weighted phase
+adversaries that punish weight-oblivious policies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.requests import RequestSequence
+from repro.workloads.base import as_generator
+
+__all__ = [
+    "cyclic_nemesis",
+    "chase_misses",
+    "weighted_phase_adversary",
+]
+
+
+def cyclic_nemesis(cache_size: int, length: int) -> RequestSequence:
+    """The cyclic scan over ``k + 1`` pages.
+
+    Every deterministic policy with a size-``k`` cache misses on (almost)
+    every request of some such sequence; LRU misses on *every* request.
+    """
+    return RequestSequence.from_pages(
+        np.arange(length, dtype=np.int64) % (cache_size + 1)
+    )
+
+
+def chase_misses(
+    n_pages: int,
+    length: int,
+    cached_pages: Callable[[], set[int]],
+    on_request: Callable[[int], None],
+    *,
+    rng=None,
+) -> RequestSequence:
+    """Adaptively request a page the policy does not currently cache.
+
+    Drives a concrete deterministic policy through ``on_request`` while
+    always requesting some uncached page (uniformly among them), producing
+    the adaptive adversary's all-miss stream.  ``cached_pages`` must return
+    the policy's current cache contents.
+
+    This helper owns the adversary loop; the caller wires it to a live
+    policy + cache (see ``tests/workloads`` for the pattern).
+    """
+    gen = as_generator(rng)
+    pages = np.empty(length, dtype=np.int64)
+    universe = np.arange(n_pages, dtype=np.int64)
+    for t in range(length):
+        cached = cached_pages()
+        uncached = universe[~np.isin(universe, list(cached))]
+        if uncached.size == 0:
+            raise ValueError(
+                "adversary needs at least one uncached page; "
+                f"universe {n_pages} <= cache size?"
+            )
+        page = int(uncached[gen.integers(0, uncached.size)])
+        pages[t] = page
+        on_request(page)
+    return RequestSequence.from_pages(pages)
+
+
+def weighted_phase_adversary(
+    light_pages: int,
+    heavy_pages: int,
+    cache_size: int,
+    phases: int,
+    *,
+    light_burst: int = 32,
+) -> RequestSequence:
+    """Alternating light-page floods and heavy-page probes.
+
+    Weight-oblivious policies (LRU) evict the heavy pages during each flood
+    of ``light_burst`` distinct light pages and then pay the heavy refetch
+    on the probe; weight-aware policies keep the heavy pages resident.
+    Pages ``[0, heavy_pages)`` are the heavy ones; build the matching
+    :class:`~repro.core.instance.WeightedPagingInstance` by giving those
+    pages large weights.
+    """
+    if heavy_pages < 1 or light_pages < 1:
+        raise ValueError("need at least one heavy and one light page")
+    if light_burst < 1:
+        raise ValueError(f"light_burst must be >= 1, got {light_burst}")
+    chunks = []
+    light_ids = heavy_pages + (np.arange(light_burst, dtype=np.int64) % light_pages)
+    heavy_ids = np.arange(heavy_pages, dtype=np.int64)
+    for ph in range(phases):
+        # Rotate the light flood so successive phases touch different pages.
+        rotated = heavy_pages + ((light_ids - heavy_pages + ph * light_burst) % light_pages)
+        chunks.append(rotated)
+        chunks.append(heavy_ids)
+    return RequestSequence.from_pages(np.concatenate(chunks))

@@ -1,0 +1,66 @@
+"""Shared workload-generation utilities.
+
+All generators take a ``rng`` argument accepting either a seed (int), a
+:class:`numpy.random.Generator`, or ``None`` (fresh OS entropy).  Passing the
+same seed always reproduces the same stream; sweeps use
+:class:`numpy.random.SeedSequence` spawning (see :mod:`repro.sim.seeding`)
+so per-seed runs are independent yet reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "zipf_probabilities", "sample_weights"]
+
+
+def as_generator(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize a seed / generator / None into a ``numpy.random.Generator``."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def zipf_probabilities(n: int, alpha: float) -> np.ndarray:
+    """Zipf(alpha) probabilities over ``n`` items (rank 1 most popular).
+
+    ``alpha = 0`` degenerates to the uniform distribution.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+def sample_weights(
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    low: float = 1.0,
+    high: float = 64.0,
+    distribution: str = "loguniform",
+) -> np.ndarray:
+    """Sample per-page eviction weights in ``[low, high]``.
+
+    ``loguniform`` (default) spreads pages across weight classes, which is
+    what exercises the rounding algorithm's class structure; ``uniform``
+    samples linearly; ``two_point`` picks ``low`` or ``high`` with equal
+    probability (the classical two-weight caching model of Irani).
+    """
+    if low < 1.0:
+        raise ValueError(f"weights must be >= 1, got low={low}")
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    gen = as_generator(rng)
+    if distribution == "loguniform":
+        w = np.exp(gen.uniform(np.log(low), np.log(high), size=n))
+    elif distribution == "uniform":
+        w = gen.uniform(low, high, size=n)
+    elif distribution == "two_point":
+        w = np.where(gen.random(n) < 0.5, low, high).astype(np.float64)
+    else:
+        raise ValueError(f"unknown weight distribution {distribution!r}")
+    return np.clip(w, low, high)

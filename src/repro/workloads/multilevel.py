@@ -1,0 +1,141 @@
+"""Multi-level request streams and instance builders.
+
+The paper motivates multi-level paging with devices that serve requests at
+several granularities — e.g. Intel Optane SSDs where fetching an aligned
+4 KB chunk (level 1, expensive) also serves reads of any of its 8 sectors
+(level 2+, cheap) — and with substitutable caching in ML-training storage.
+These generators build weight matrices with geometric level spacing and
+request streams whose level distribution is controllable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import MultiLevelInstance
+from repro.core.requests import RequestSequence
+from repro.workloads.base import as_generator, sample_weights, zipf_probabilities
+
+__all__ = [
+    "geometric_instance",
+    "random_multilevel_instance",
+    "multilevel_stream",
+    "optane_stream",
+]
+
+
+def geometric_instance(
+    n_pages: int,
+    cache_size: int,
+    n_levels: int,
+    *,
+    top_weight: float | None = None,
+    ratio: float = 2.0,
+    rng=None,
+) -> MultiLevelInstance:
+    """An instance where every page has the same geometric level weights.
+
+    ``w(p, i) = top_weight / ratio^(i-1)``, with ``top_weight`` defaulting
+    to ``ratio^(n_levels-1)`` so the lightest level has weight 1.
+    """
+    if n_levels < 1:
+        raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+    if ratio < 1.0:
+        raise ValueError(f"ratio must be >= 1, got {ratio}")
+    if top_weight is None:
+        top_weight = float(ratio ** (n_levels - 1))
+    levels = top_weight / ratio ** np.arange(n_levels, dtype=np.float64)
+    if levels[-1] < 1.0:
+        raise ValueError(
+            f"top_weight {top_weight} too small for {n_levels} levels at ratio {ratio}"
+        )
+    return MultiLevelInstance(
+        cache_size, np.tile(levels, (n_pages, 1)),
+        name=f"geometric(n={n_pages}, l={n_levels}, k={cache_size})",
+    )
+
+
+def random_multilevel_instance(
+    n_pages: int,
+    cache_size: int,
+    n_levels: int,
+    *,
+    rng=None,
+    low: float = 1.0,
+    high: float = 64.0,
+    ratio: float = 2.0,
+) -> MultiLevelInstance:
+    """Per-page random weights with geometric level spacing.
+
+    The lightest level of each page is sampled log-uniformly from
+    ``[low, high]``; level ``i`` costs ``ratio^(n_levels-i)`` times that.
+    """
+    gen = as_generator(rng)
+    base = sample_weights(n_pages, gen, low=low, high=high)
+    mult = ratio ** np.arange(n_levels - 1, -1, -1, dtype=np.float64)
+    return MultiLevelInstance(
+        cache_size, base[:, None] * mult[None, :],
+        name=f"randml(n={n_pages}, l={n_levels}, k={cache_size})",
+    )
+
+
+def multilevel_stream(
+    n_pages: int,
+    n_levels: int,
+    length: int,
+    *,
+    alpha: float = 0.8,
+    level_bias: float = 2.0,
+    rng=None,
+) -> RequestSequence:
+    """Zipf pages with independently sampled levels.
+
+    ``level_bias > 1`` skews requests toward the *low* (cheap) levels —
+    a request for level ``i`` is ``level_bias`` times as likely as for
+    level ``i-1`` — which matches the common case that most traffic can be
+    served at fine granularity while occasional requests demand the
+    expensive copy.  ``level_bias = 1`` is uniform over levels.
+    """
+    if level_bias <= 0:
+        raise ValueError(f"level_bias must be positive, got {level_bias}")
+    gen = as_generator(rng)
+    probs = zipf_probabilities(n_pages, alpha)
+    probs = probs[gen.permutation(n_pages)]
+    pages = gen.choice(n_pages, size=length, p=probs).astype(np.int64)
+    level_probs = level_bias ** np.arange(n_levels, dtype=np.float64)
+    level_probs /= level_probs.sum()
+    levels = gen.choice(np.arange(1, n_levels + 1), size=length, p=level_probs)
+    return RequestSequence(pages, levels.astype(np.int64))
+
+
+def optane_stream(
+    n_chunks: int,
+    length: int,
+    *,
+    sectors_per_chunk: int = 8,
+    chunk_read_fraction: float = 0.1,
+    alpha: float = 0.8,
+    rng=None,
+) -> RequestSequence:
+    """A two-level stream modeled on Optane chunk/sector granularity.
+
+    Pages are 4 KB chunks.  A fraction ``chunk_read_fraction`` of requests
+    reads the whole chunk (level 1, must be served by the chunk copy);
+    the rest read a single sector (level 2, servable by either the chunk
+    copy or the sector copy).  ``sectors_per_chunk`` only shapes the
+    docstring-level story — the model collapses each chunk's sectors into
+    its level-2 copy, which is exactly the paper's substitutability
+    abstraction.
+    """
+    if not 0.0 <= chunk_read_fraction <= 1.0:
+        raise ValueError(
+            f"chunk_read_fraction must be in [0, 1], got {chunk_read_fraction}"
+        )
+    if sectors_per_chunk < 1:
+        raise ValueError(f"sectors_per_chunk must be >= 1, got {sectors_per_chunk}")
+    gen = as_generator(rng)
+    probs = zipf_probabilities(n_chunks, alpha)
+    probs = probs[gen.permutation(n_chunks)]
+    pages = gen.choice(n_chunks, size=length, p=probs).astype(np.int64)
+    levels = np.where(gen.random(length) < chunk_read_fraction, 1, 2)
+    return RequestSequence(pages, levels.astype(np.int64))

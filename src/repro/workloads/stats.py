@@ -1,0 +1,105 @@
+"""Workload characterization.
+
+Summary statistics used by reports to describe a request stream before
+any policy touches it: footprint, popularity skew, reuse-distance
+profile, level mix, and write intensity.  Reuse distances reuse the
+Fenwick-tree stack-distance engine from :mod:`repro.sim.mrc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.requests import RequestSequence, WBRequestSequence
+
+__all__ = ["WorkloadProfile", "profile_sequence", "profile_wb_sequence"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Descriptive statistics of a request stream."""
+
+    n_requests: int
+    footprint: int  # distinct pages touched
+    top1_share: float  # share of the most popular page
+    top10_share: float  # share of the 10 most popular pages
+    median_reuse_distance: float  # over re-references (nan if none)
+    cold_fraction: float  # first references / requests
+    level_mix: dict[int, float]  # level -> request share
+    write_fraction: float  # 0.0 for plain multi-level streams
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        reuse = (
+            "n/a"
+            if np.isnan(self.median_reuse_distance)
+            else f"{self.median_reuse_distance:.0f}"
+        )
+        return (
+            f"{self.n_requests} requests over {self.footprint} pages; "
+            f"top-1 {self.top1_share:.1%}, top-10 {self.top10_share:.1%}; "
+            f"median reuse distance {reuse}; "
+            f"cold {self.cold_fraction:.1%}; writes {self.write_fraction:.1%}"
+        )
+
+
+def _popularity(pages: np.ndarray) -> tuple[float, float]:
+    counts = np.sort(np.bincount(pages))[::-1]
+    total = counts.sum()
+    if total == 0:
+        return 0.0, 0.0
+    return float(counts[0] / total), float(counts[:10].sum() / total)
+
+
+def _reuse(pages: np.ndarray) -> tuple[float, float]:
+    from repro.sim.mrc import stack_distances
+
+    if pages.size == 0:
+        return float("nan"), 0.0
+    dist = stack_distances(pages)
+    finite = dist[dist < np.iinfo(np.int64).max]
+    cold = 1.0 - finite.size / dist.size
+    median = float(np.median(finite)) if finite.size else float("nan")
+    return median, float(cold)
+
+
+def profile_sequence(seq: RequestSequence) -> WorkloadProfile:
+    """Characterize a multi-level request stream."""
+    pages = seq.pages
+    top1, top10 = _popularity(pages) if pages.size else (0.0, 0.0)
+    median, cold = _reuse(pages)
+    mix: dict[int, float] = {}
+    if len(seq):
+        levels, counts = np.unique(seq.levels, return_counts=True)
+        mix = {int(l): float(c / len(seq)) for l, c in zip(levels, counts)}
+    return WorkloadProfile(
+        n_requests=len(seq),
+        footprint=seq.distinct_pages(),
+        top1_share=top1,
+        top10_share=top10,
+        median_reuse_distance=median,
+        cold_fraction=cold,
+        level_mix=mix,
+        write_fraction=0.0,
+    )
+
+
+def profile_wb_sequence(seq: WBRequestSequence) -> WorkloadProfile:
+    """Characterize a writeback request stream."""
+    pages = seq.pages
+    top1, top10 = _popularity(pages) if pages.size else (0.0, 0.0)
+    median, cold = _reuse(pages)
+    return WorkloadProfile(
+        n_requests=len(seq),
+        footprint=int(np.unique(pages).size) if pages.size else 0,
+        top1_share=top1,
+        top10_share=top10,
+        median_reuse_distance=median,
+        cold_fraction=cold,
+        level_mix={1: seq.write_fraction(), 2: 1.0 - seq.write_fraction()}
+        if len(seq)
+        else {},
+        write_fraction=seq.write_fraction(),
+    )

@@ -1,0 +1,197 @@
+"""Synthetic single-level request streams.
+
+These are the classical paging workload shapes: independent uniform / Zipf
+references, sequential scans, and phase-shifted working sets.  All return
+:class:`~repro.core.requests.RequestSequence` objects with ``level = 1``
+(weighted paging); lift them to multi-level or writeback streams with
+:mod:`repro.workloads.multilevel` and :mod:`repro.workloads.writeback`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.requests import RequestSequence
+from repro.workloads.base import as_generator, zipf_probabilities
+
+__all__ = [
+    "uniform_stream",
+    "zipf_stream",
+    "scan_stream",
+    "working_set_stream",
+    "markov_stream",
+    "loop_stream",
+    "mixture_stream",
+]
+
+
+def uniform_stream(
+    n_pages: int, length: int, rng=None
+) -> RequestSequence:
+    """Independent uniform references over ``n_pages`` pages."""
+    gen = as_generator(rng)
+    pages = gen.integers(0, n_pages, size=length, dtype=np.int64)
+    return RequestSequence.from_pages(pages)
+
+
+def zipf_stream(
+    n_pages: int, length: int, alpha: float = 0.8, rng=None,
+    *, shuffle_ranks: bool = True,
+) -> RequestSequence:
+    """Zipf(alpha)-distributed references.
+
+    When ``shuffle_ranks`` is true, the popularity ranking is a random
+    permutation of the page ids so that popularity is uncorrelated with page
+    weight in weighted instances.
+    """
+    gen = as_generator(rng)
+    probs = zipf_probabilities(n_pages, alpha)
+    if shuffle_ranks:
+        probs = probs[gen.permutation(n_pages)]
+    pages = gen.choice(n_pages, size=length, p=probs).astype(np.int64)
+    return RequestSequence.from_pages(pages)
+
+
+def scan_stream(n_pages: int, length: int, *, stride: int = 1) -> RequestSequence:
+    """A cyclic sequential scan ``0, stride, 2*stride, ...`` (mod n).
+
+    With ``n_pages = k + 1`` this is the classical LRU nemesis.
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    idx = (np.arange(length, dtype=np.int64) * stride) % n_pages
+    return RequestSequence.from_pages(idx)
+
+
+def working_set_stream(
+    n_pages: int,
+    length: int,
+    *,
+    set_size: int,
+    phase_length: int,
+    rng=None,
+    locality: float = 0.95,
+) -> RequestSequence:
+    """Phase-shifted working sets.
+
+    Time is split into phases of ``phase_length`` requests.  Each phase
+    draws a fresh random working set of ``set_size`` pages; every request
+    falls inside the current working set with probability ``locality`` and
+    is uniform over all pages otherwise.  This is the canonical workload on
+    which LRU-style policies shine and scan-resistant policies are tested.
+    """
+    if not 1 <= set_size <= n_pages:
+        raise ValueError(f"set_size must be in [1, {n_pages}], got {set_size}")
+    if phase_length < 1:
+        raise ValueError(f"phase_length must be >= 1, got {phase_length}")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError(f"locality must be in [0, 1], got {locality}")
+    gen = as_generator(rng)
+    pages = np.empty(length, dtype=np.int64)
+    pos = 0
+    while pos < length:
+        wset = gen.choice(n_pages, size=set_size, replace=False)
+        span = min(phase_length, length - pos)
+        inside = gen.random(span) < locality
+        local = wset[gen.integers(0, set_size, size=span)]
+        global_ = gen.integers(0, n_pages, size=span)
+        pages[pos : pos + span] = np.where(inside, local, global_)
+        pos += span
+    return RequestSequence.from_pages(pages)
+
+
+def loop_stream(
+    n_pages: int,
+    length: int,
+    *,
+    loop_size: int,
+    jitter: float = 0.0,
+    rng=None,
+) -> RequestSequence:
+    """A repeating loop over ``loop_size`` pages with optional jitter.
+
+    The LOOP pattern of the caching literature: with ``loop_size > k`` LRU
+    thrashes (0% hits) while MIN retains ``k - 1`` loop pages; ``jitter``
+    replaces that fraction of requests with uniform references.
+    """
+    if not 1 <= loop_size <= n_pages:
+        raise ValueError(f"loop_size must be in [1, {n_pages}], got {loop_size}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    gen = as_generator(rng)
+    pages = (np.arange(length, dtype=np.int64) % loop_size)
+    if jitter > 0:
+        noisy = gen.random(length) < jitter
+        pages = np.where(noisy, gen.integers(0, n_pages, size=length), pages)
+    return RequestSequence.from_pages(pages)
+
+
+def mixture_stream(
+    components: list[tuple[float, RequestSequence]],
+    length: int,
+    rng=None,
+) -> RequestSequence:
+    """Interleave request streams by weighted random choice per request.
+
+    ``components`` is a list of ``(weight, stream)``; each output request
+    is drawn as the next unread request of a component chosen with
+    probability proportional to its weight.  Components are consumed
+    round-robin within themselves and recycled when exhausted — useful for
+    mixing a scan with Zipf point lookups, the canonical scan-pollution
+    scenario.
+    """
+    if not components:
+        raise ValueError("need at least one component")
+    weights = np.array([w for w, _ in components], dtype=np.float64)
+    if np.any(weights <= 0):
+        raise ValueError("component weights must be positive")
+    streams = [s for _, s in components]
+    if any(len(s) == 0 for s in streams):
+        raise ValueError("components must be non-empty")
+    gen = as_generator(rng)
+    probs = weights / weights.sum()
+    choice = gen.choice(len(streams), size=length, p=probs)
+    cursors = [0] * len(streams)
+    pages = np.empty(length, dtype=np.int64)
+    levels = np.empty(length, dtype=np.int64)
+    for t in range(length):
+        c = int(choice[t])
+        s = streams[c]
+        i = cursors[c] % len(s)
+        pages[t] = s.pages[i]
+        levels[t] = s.levels[i]
+        cursors[c] += 1
+    return RequestSequence(pages, levels)
+
+
+def markov_stream(
+    n_pages: int,
+    length: int,
+    *,
+    stickiness: float = 0.6,
+    neighborhood: int = 4,
+    rng=None,
+) -> RequestSequence:
+    """A random-walk reference stream with temporal and spatial locality.
+
+    With probability ``stickiness`` the next request repeats or moves to a
+    page within ``neighborhood`` of the current one; otherwise it jumps
+    uniformly.  Models pointer-chasing / B-tree descent access patterns.
+    """
+    if not 0.0 <= stickiness <= 1.0:
+        raise ValueError(f"stickiness must be in [0, 1], got {stickiness}")
+    if neighborhood < 1:
+        raise ValueError(f"neighborhood must be >= 1, got {neighborhood}")
+    gen = as_generator(rng)
+    pages = np.empty(length, dtype=np.int64)
+    current = int(gen.integers(0, n_pages))
+    sticky = gen.random(length) < stickiness
+    offsets = gen.integers(-neighborhood, neighborhood + 1, size=length)
+    jumps = gen.integers(0, n_pages, size=length)
+    for t in range(length):
+        if sticky[t]:
+            current = int((current + offsets[t]) % n_pages)
+        else:
+            current = int(jumps[t])
+        pages[t] = current
+    return RequestSequence.from_pages(pages)

@@ -1,0 +1,93 @@
+"""Trace serialization.
+
+A minimal line-oriented text format standing in for production traces (the
+paper motivates with real systems but evaluates nothing; see the
+substitution notes in DESIGN.md).  Format::
+
+    # comments and blank lines ignored
+    ml <page> <level>      # multi-level request
+    wb <page> r|w          # writeback request
+
+A file must be homogeneous (all ``ml`` or all ``wb``).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import TraceFormatError
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "dumps_trace",
+    "loads_trace",
+]
+
+
+def dumps_trace(seq: RequestSequence | WBRequestSequence) -> str:
+    """Serialize a request sequence to the text trace format."""
+    out = io.StringIO()
+    if isinstance(seq, RequestSequence):
+        for p, i in zip(seq.pages.tolist(), seq.levels.tolist()):
+            out.write(f"ml {p} {i}\n")
+    elif isinstance(seq, WBRequestSequence):
+        for p, w in zip(seq.pages.tolist(), seq.writes.tolist()):
+            out.write(f"wb {p} {'w' if w else 'r'}\n")
+    else:
+        raise TypeError(f"unsupported sequence type {type(seq).__name__}")
+    return out.getvalue()
+
+
+def loads_trace(text: str) -> RequestSequence | WBRequestSequence:
+    """Parse the text trace format back into a request sequence."""
+    kind: str | None = None
+    ml_pairs: list[tuple[int, int]] = []
+    wb_pairs: list[tuple[int, bool]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceFormatError(f"line {lineno}: expected 3 fields, got {len(parts)}")
+        tag, page_s, third = parts
+        if kind is None:
+            kind = tag
+        elif tag != kind:
+            raise TraceFormatError(
+                f"line {lineno}: mixed record kinds ({kind!r} then {tag!r})"
+            )
+        try:
+            page = int(page_s)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: bad page {page_s!r}") from exc
+        if tag == "ml":
+            try:
+                level = int(third)
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: bad level {third!r}") from exc
+            ml_pairs.append((page, level))
+        elif tag == "wb":
+            if third not in ("r", "w"):
+                raise TraceFormatError(f"line {lineno}: expected r|w, got {third!r}")
+            wb_pairs.append((page, third == "w"))
+        else:
+            raise TraceFormatError(f"line {lineno}: unknown record kind {tag!r}")
+    if kind is None:
+        raise TraceFormatError("empty trace (no records)")
+    if kind == "ml":
+        return RequestSequence.from_pairs(ml_pairs)
+    return WBRequestSequence.from_pairs(wb_pairs)
+
+
+def save_trace(path: str | Path, seq: RequestSequence | WBRequestSequence) -> None:
+    """Write a request sequence to ``path`` in the text trace format."""
+    Path(path).write_text(dumps_trace(seq), encoding="utf-8")
+
+
+def load_trace(path: str | Path) -> RequestSequence | WBRequestSequence:
+    """Read a request sequence from ``path``."""
+    return loads_trace(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,111 @@
+"""Writeback-aware request streams (read/write mixes).
+
+Models the buffer-pool workloads that motivate writeback-aware caching:
+reads and writes over a page universe where the write *fraction* and the
+write *affinity* (which pages attract the writes) are controllable.  The
+intensity of writes controls how much a dirty-oblivious policy overpays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.requests import WBRequestSequence
+from repro.workloads.base import as_generator, zipf_probabilities
+
+__all__ = [
+    "readwrite_stream",
+    "hot_writer_stream",
+    "logging_stream",
+]
+
+
+def readwrite_stream(
+    n_pages: int,
+    length: int,
+    *,
+    write_fraction: float = 0.3,
+    alpha: float = 0.8,
+    rng=None,
+) -> WBRequestSequence:
+    """Zipf references where each request is independently a write.
+
+    Every request is a write with probability ``write_fraction``
+    regardless of the page — the simplest dirty/clean mix.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError(f"write_fraction must be in [0, 1], got {write_fraction}")
+    gen = as_generator(rng)
+    probs = zipf_probabilities(n_pages, alpha)
+    probs = probs[gen.permutation(n_pages)]
+    pages = gen.choice(n_pages, size=length, p=probs).astype(np.int64)
+    writes = gen.random(length) < write_fraction
+    return WBRequestSequence(pages, writes)
+
+
+def hot_writer_stream(
+    n_pages: int,
+    length: int,
+    *,
+    hot_fraction: float = 0.1,
+    hot_write_prob: float = 0.8,
+    cold_write_prob: float = 0.02,
+    alpha: float = 0.8,
+    rng=None,
+) -> WBRequestSequence:
+    """A small set of "hot" pages attracts nearly all writes.
+
+    Models an OLTP index: most pages are read-mostly while a hot fraction
+    (e.g. the rightmost B-tree leaves) is write-heavy.  This is the shape
+    where writeback-aware eviction pays off most: the policy should prefer
+    evicting clean cold pages over dirty hot pages.
+    """
+    for name, v in [("hot_fraction", hot_fraction),
+                    ("hot_write_prob", hot_write_prob),
+                    ("cold_write_prob", cold_write_prob)]:
+        if not 0.0 <= v <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {v}")
+    gen = as_generator(rng)
+    n_hot = max(1, int(round(hot_fraction * n_pages)))
+    hot_pages = gen.choice(n_pages, size=n_hot, replace=False)
+    is_hot = np.zeros(n_pages, dtype=bool)
+    is_hot[hot_pages] = True
+
+    probs = zipf_probabilities(n_pages, alpha)
+    probs = probs[gen.permutation(n_pages)]
+    pages = gen.choice(n_pages, size=length, p=probs).astype(np.int64)
+    write_prob = np.where(is_hot[pages], hot_write_prob, cold_write_prob)
+    writes = gen.random(length) < write_prob
+    return WBRequestSequence(pages, writes)
+
+
+def logging_stream(
+    n_pages: int,
+    length: int,
+    *,
+    log_pages: int = 4,
+    log_interval: int = 8,
+    alpha: float = 0.8,
+    rng=None,
+) -> WBRequestSequence:
+    """Read-mostly traffic interleaved with round-robin log-page writes.
+
+    Every ``log_interval``-th request writes the next page of a small
+    circular log region; everything else is a Zipf read over the remaining
+    pages.  Models WAL-style writers sharing a buffer pool with readers.
+    """
+    if not 1 <= log_pages < n_pages:
+        raise ValueError(f"log_pages must be in [1, {n_pages}), got {log_pages}")
+    if log_interval < 1:
+        raise ValueError(f"log_interval must be >= 1, got {log_interval}")
+    gen = as_generator(rng)
+    data_pages = n_pages - log_pages
+    probs = zipf_probabilities(data_pages, alpha)
+    reads = gen.choice(data_pages, size=length, p=probs).astype(np.int64) + log_pages
+
+    pages = reads
+    writes = np.zeros(length, dtype=bool)
+    log_slots = np.arange(0, length, log_interval)
+    pages[log_slots] = (np.arange(log_slots.size, dtype=np.int64)) % log_pages
+    writes[log_slots] = True
+    return WBRequestSequence(pages, writes)

@@ -1,0 +1,105 @@
+"""Statistical verification of Algorithm 2's local rule (Lemma 4.14).
+
+The paper couples the rounding with the "almost product" distribution
+``D(t)``: independently per page, copy ``(p, i)`` is held with probability
+``u(p, i-1) - u(p, i)`` (``u(p, 0) = 1``) and no copy with probability
+``u(p, l)`` — equivalently, a uniform threshold ``theta`` falls in
+``[u(p, i), u(p, i-1))``.
+
+Lemma 4.14: applying the chain-walk local rule to a state distributed as
+``D(t)`` yields a state distributed as ``D(t+1)``.  We verify this by
+Monte-Carlo: sample the start level from ``D(prev)``, walk the chain with
+the implementation under test, and compare the empirical end-level
+distribution to ``D(new)`` (chi-squared-style tolerance on 200k samples).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import RandomizedMultiLevelPolicy
+
+N_SAMPLES = 200_000
+TOL = 0.01  # absolute tolerance per outcome probability
+
+
+def _interval_probs(u_row: np.ndarray) -> np.ndarray:
+    """P(copy at level i) for i = 1..l, and P(no copy) last."""
+    ext = np.concatenate([[1.0], u_row])
+    probs = -(np.diff(ext))  # u(i-1) - u(i)
+    return np.concatenate([probs, [u_row[-1]]])
+
+
+def _sample_start_levels(u_row: np.ndarray, rng, size: int) -> np.ndarray:
+    """Sample levels (1..l; l+1 = absent) from the threshold coupling."""
+    theta = rng.random(size)
+    ext = np.concatenate([[1.0], u_row])  # ext[i] = u(i), ext[0] = 1
+    # level i iff u(i) <= theta < u(i-1); absent iff theta < u(l).
+    levels = np.full(size, u_row.size + 1, dtype=np.int64)
+    for i in range(u_row.size, 0, -1):
+        in_interval = (theta >= ext[i]) & (theta < ext[i - 1])
+        levels[in_interval] = i
+    return levels
+
+
+@pytest.mark.parametrize(
+    "u_prev,u_new",
+    [
+        # l = 1: simple eviction probability.
+        (np.array([0.2]), np.array([0.5])),
+        # l = 2: mass moves down one level.
+        (np.array([0.6, 0.1]), np.array([0.8, 0.3])),
+        # l = 3: multi-step chain, including a level losing all its mass.
+        (np.array([0.5, 0.3, 0.1]), np.array([0.9, 0.9, 0.4])),
+        # Saturation: u_new reaches 1 on the top level (forced moves).
+        (np.array([0.7, 0.2]), np.array([1.0, 0.6])),
+        # No movement at all.
+        (np.array([0.4, 0.2]), np.array([0.4, 0.2])),
+    ],
+)
+def test_chain_walk_preserves_product_distribution(u_prev, u_new):
+    rng = np.random.default_rng(12345)
+    starts = _sample_start_levels(u_prev, rng, N_SAMPLES)
+    l = u_prev.size
+
+    ends = np.empty(N_SAMPLES, dtype=np.int64)
+    for j in range(N_SAMPLES):
+        s = int(starts[j])
+        if s == l + 1:
+            # Absent stays absent under the local rule (u only increases).
+            ends[j] = l + 1
+        else:
+            ends[j] = RandomizedMultiLevelPolicy.chain_walk(
+                u_prev, u_new, s, rng
+            )
+
+    expected = _interval_probs(u_new)
+    for i in range(1, l + 2):
+        observed = float((ends == i).mean())
+        assert observed == pytest.approx(expected[i - 1], abs=TOL), (
+            f"level {i}: observed {observed:.4f}, expected {expected[i-1]:.4f}"
+        )
+
+
+def test_chain_walk_never_moves_up():
+    rng = np.random.default_rng(0)
+    u_prev = np.array([0.5, 0.2])
+    u_new = np.array([0.9, 0.7])
+    for start in (1, 2):
+        for _ in range(200):
+            end = RandomizedMultiLevelPolicy.chain_walk(u_prev, u_new, start, rng)
+            assert end >= start
+
+
+def test_chain_walk_no_change_no_move():
+    rng = np.random.default_rng(0)
+    u = np.array([0.5, 0.2, 0.0])
+    for start in (1, 2, 3):
+        assert RandomizedMultiLevelPolicy.chain_walk(u, u, start, rng) == start
+
+
+def test_chain_walk_full_eviction_when_saturated():
+    rng = np.random.default_rng(0)
+    u_prev = np.array([0.3, 0.1])
+    u_new = np.array([1.0, 1.0])
+    for start in (1, 2):
+        assert RandomizedMultiLevelPolicy.chain_walk(u_prev, u_new, start, rng) == 3

@@ -1,0 +1,88 @@
+"""Tests for Lemma 4.5 quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms.quantize import default_delta, movement_cost, quantize_state
+from repro.core.instance import WeightedPagingInstance
+
+
+class TestQuantizeState:
+    def test_values_on_grid(self):
+        u = np.array([[0.1], [0.26], [0.999], [0.0]])
+        q = quantize_state(u, 0.25)
+        assert np.allclose(q % 0.25, 0.0, atol=1e-12)
+
+    def test_rounds_up(self):
+        u = np.array([[0.1], [0.3]])
+        q = quantize_state(u, 0.25)
+        assert np.all(q >= u - 1e-12)
+        assert q[0, 0] == pytest.approx(0.25)
+        assert q[1, 0] == pytest.approx(0.5)
+
+    def test_exact_grid_points_unchanged(self):
+        u = np.array([[0.0], [0.25], [0.5], [1.0]])
+        assert np.allclose(quantize_state(u, 0.25), u)
+
+    def test_zeros_stay_zero(self):
+        u = np.zeros((3, 2))
+        assert np.all(quantize_state(u, 1 / 8) == 0.0)
+
+    def test_capped_at_one(self):
+        u = np.array([[0.99], [1.0]])
+        assert np.all(quantize_state(u, 1 / 4) <= 1.0)
+
+    def test_default_delta(self):
+        inst = WeightedPagingInstance.uniform(10, 5)
+        assert default_delta(inst) == pytest.approx(1 / 20)
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_state(np.zeros((1, 1)), 0.0)
+        with pytest.raises(ValueError):
+            quantize_state(np.zeros((1, 1)), 0.3)  # 1/0.3 not integral
+
+    @given(
+        arrays(np.float64, (6, 3), elements=st.floats(0.0, 1.0)),
+        st.sampled_from([1 / 4, 1 / 8, 1 / 20, 1 / 64]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_properties(self, u, delta):
+        u = np.sort(u, axis=1)[:, ::-1]  # monotone non-increasing rows
+        q = quantize_state(u, delta)
+        # On the grid, within bounds, dominating, monotone.
+        assert np.allclose((q / delta) - np.round(q / delta), 0.0, atol=1e-6)
+        assert np.all(q >= u - 1e-9)
+        assert np.all(q <= 1.0 + 1e-12)
+        assert np.all(np.diff(q, axis=1) <= 1e-12)
+        # Rounding up preserves the covering constraint for any k.
+        assert q[:, -1].sum() >= u[:, -1].sum() - 1e-9
+
+
+class TestMovementCost:
+    def test_charges_increases_only(self):
+        prev = np.array([[0.5, 0.2]])
+        new = np.array([[0.7, 0.1]])
+        w = np.array([[4.0, 2.0]])
+        assert movement_cost(prev, new, w) == pytest.approx(0.2 * 4.0)
+
+    def test_zero_for_no_change(self):
+        u = np.random.default_rng(0).random((4, 2))
+        w = np.ones((4, 2))
+        assert movement_cost(u, u, w) == 0.0
+
+    def test_quantized_movement_close_to_original(self):
+        # Lemma 4.5: quantizing costs at most an extra delta per move.
+        rng = np.random.default_rng(1)
+        delta = 1 / 16
+        w = np.ones((5, 1)) * 3.0
+        prev = rng.random((5, 1))
+        new = np.minimum(prev + rng.random((5, 1)) * 0.2, 1.0)
+        orig = movement_cost(prev, new, w)
+        quant = movement_cost(
+            quantize_state(prev, delta), quantize_state(new, delta), w
+        )
+        assert quant <= orig + 5 * delta * 3.0 + 1e-9

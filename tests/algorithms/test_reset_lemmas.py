@@ -1,0 +1,88 @@
+"""Empirical checks of the reset lemmas (4.10 and 4.12).
+
+Lemma 4.10: at any time step at most one type-i reset occurs, and the
+violated count exceeds its cap by at most 1 — so the rounding never
+performs more than one reset eviction per request.
+
+Lemma 4.12: the probability of a reset decays like exp(-beta/4), so
+reset traffic should fall steeply as beta grows (and the paper's
+beta = 4 log k pushes it into rounding-error territory).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.algorithms import (
+    RandomizedMultiLevelPolicy,
+    RandomizedWeightedPagingPolicy,
+)
+from repro.core.instance import WeightedPagingInstance
+from repro.sim import simulate
+from repro.workloads import (
+    multilevel_stream,
+    random_multilevel_instance,
+    sample_weights,
+    zipf_stream,
+)
+
+
+def reset_events(result):
+    return [e for e in result.events if e.reason == "reset"]
+
+
+class TestLemma410:
+    """At most one reset eviction per request."""
+
+    @pytest.mark.parametrize("beta", [1.0, 1.5, 2.0])
+    def test_weighted(self, beta):
+        for seed in range(4):
+            inst = WeightedPagingInstance(
+                5, sample_weights(15, rng=seed, high=32.0)
+            )
+            seq = zipf_stream(15, 400, rng=seed + 100)
+            r = simulate(inst, seq,
+                         RandomizedWeightedPagingPolicy(beta=beta),
+                         seed=seed, record_events=True)
+            per_step = Counter(e.time for e in reset_events(r))
+            assert not per_step or max(per_step.values()) == 1
+
+    @pytest.mark.parametrize("beta", [1.0, 1.5])
+    def test_multilevel(self, beta):
+        for seed in range(4):
+            inst = random_multilevel_instance(12, 4, 2, rng=seed)
+            seq = multilevel_stream(12, 2, 300, rng=seed + 50)
+            r = simulate(inst, seq,
+                         RandomizedMultiLevelPolicy(beta=beta),
+                         seed=seed, record_events=True)
+            per_step = Counter(e.time for e in reset_events(r))
+            assert not per_step or max(per_step.values()) == 1
+
+
+class TestLemma412:
+    """Reset traffic decays steeply in beta."""
+
+    def _reset_count(self, beta, seeds=5):
+        total = 0
+        for seed in range(seeds):
+            inst = WeightedPagingInstance(
+                5, sample_weights(15, rng=seed, high=32.0)
+            )
+            seq = zipf_stream(15, 400, rng=seed + 100)
+            r = simulate(inst, seq,
+                         RandomizedWeightedPagingPolicy(beta=beta),
+                         seed=seed, record_events=True)
+            total += len(reset_events(r))
+        return total
+
+    def test_decay_in_beta(self):
+        low = self._reset_count(1.0)
+        mid = self._reset_count(1.5)
+        high = self._reset_count(2.5)
+        assert low > mid > high
+        assert high <= low / 10  # much faster than linear decay
+
+    def test_paper_beta_essentially_reset_free(self):
+        # At beta = 4 log k the reset probability is 1/poly(k); these
+        # short runs should see (almost) none.
+        assert self._reset_count(4.0) <= 2

@@ -1,0 +1,100 @@
+"""Brute-force validation of the rounding's internal class machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import RandomizedMultiLevelPolicy
+from repro.core.cache import MultiLevelCache
+from repro.core.instance import MultiLevelInstance
+from repro.core.ledger import CostLedger
+from repro.workloads import random_multilevel_instance
+
+
+def bind_policy(inst, **kwargs):
+    policy = RandomizedMultiLevelPolicy(**kwargs)
+    cache = MultiLevelCache(inst, CostLedger())
+    policy.bind(inst, cache, np.random.default_rng(0))
+    return policy
+
+
+def brute_force_k_ge(inst, u, i):
+    """Reference computation: sum over pages of the in-cache mass of the
+    prefix of copies with weight class >= i."""
+    total = 0.0
+    for p in range(inst.n_pages):
+        jp = 0
+        for j in range(1, inst.n_levels + 1):
+            if inst.weight_class(p, j) >= i:
+                jp = j
+        if jp > 0:
+            total += 1.0 - u[p, jp - 1]
+    return total
+
+
+class TestKGe:
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 8))
+        k = int(rng.integers(1, n))
+        l = int(rng.integers(1, 4))
+        inst = random_multilevel_instance(n, k, l, rng=rng, high=32.0)
+        policy = bind_policy(inst)
+        # Random monotone u state.
+        u = np.sort(rng.random((n, l)), axis=1)[:, ::-1]
+        k_ge = policy._k_ge(u)
+        for i in range(1, policy._max_class + 1):
+            assert k_ge[i - 1] == pytest.approx(brute_force_k_ge(inst, u, i))
+
+    def test_prefix_lengths(self):
+        inst = MultiLevelInstance(1, np.array([[16.0, 4.0, 1.0],
+                                               [8.0, 2.0, 1.0]]))
+        policy = bind_policy(inst)
+        # Classes: page 0 -> [4, 2, 1]; page 1 -> [3, 1, 1].
+        classes = inst.weight_classes()
+        assert classes[0].tolist() == [4, 2, 1]
+        assert classes[1].tolist() == [3, 1, 1]
+        # Prefix lengths j_p(i): #levels with class >= i.
+        assert policy._prefix_len[0].tolist() == [3, 3]  # class >= 1
+        assert policy._prefix_len[1].tolist() == [2, 1]  # class >= 2
+        assert policy._prefix_len[2].tolist() == [1, 1]  # class >= 3
+        assert policy._prefix_len[3].tolist() == [1, 0]  # class >= 4
+
+
+class TestVictimRules:
+    def test_bad_rule_rejected(self):
+        with pytest.raises(ValueError):
+            RandomizedMultiLevelPolicy(victim_rule="weird")
+
+    def test_pick_victim_max_and_min(self):
+        inst = random_multilevel_instance(6, 2, 2, rng=0)
+        policy = bind_policy(inst, victim_rule="max-u")
+        assert policy._pick_victim([10, 20, 30], [0.1, 0.9, 0.5]) == 20
+        policy2 = bind_policy(inst, victim_rule="min-u")
+        assert policy2._pick_victim([10, 20, 30], [0.1, 0.9, 0.5]) == 10
+
+    def test_pick_victim_first(self):
+        inst = random_multilevel_instance(6, 2, 2, rng=0)
+        policy = bind_policy(inst, victim_rule="first")
+        assert policy._pick_victim([7, 3], [0.0, 1.0]) == 7
+
+    def test_pick_victim_random_uses_rng(self):
+        inst = random_multilevel_instance(6, 2, 2, rng=0)
+        policy = bind_policy(inst, victim_rule="random")
+        picks = {policy._pick_victim([1, 2, 3], [0.5, 0.5, 0.5])
+                 for _ in range(50)}
+        assert picks == {1, 2, 3}
+
+    @pytest.mark.parametrize("rule", ["max-u", "min-u", "random", "first"])
+    def test_all_rules_produce_feasible_runs(self, rule):
+        from repro.sim import simulate
+        from repro.workloads import multilevel_stream
+
+        inst = random_multilevel_instance(10, 3, 2, rng=1)
+        seq = multilevel_stream(10, 2, 250, rng=2)
+        r = simulate(inst, seq, RandomizedMultiLevelPolicy(victim_rule=rule),
+                     seed=3)
+        assert len(r.final_cache) <= 3

@@ -1,0 +1,147 @@
+"""Tests for pluggable fractional sources and trajectory rounding."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    FractionalMultiLevelSolver,
+    RandomizedMultiLevelPolicy,
+    RandomizedWeightedPagingPolicy,
+    SolverSource,
+    TrajectorySource,
+    lazify_trajectory,
+)
+from repro.core.instance import WeightedPagingInstance
+from repro.errors import InfeasibleError, InvalidRequestError
+from repro.offline import solve_offline_lp
+from repro.sim import simulate
+from repro.workloads import (
+    multilevel_stream,
+    random_multilevel_instance,
+    sample_weights,
+    zipf_stream,
+)
+
+
+def weighted(n=12, k=4):
+    return WeightedPagingInstance(k, sample_weights(n, rng=0, high=16.0))
+
+
+class TestSolverSource:
+    def test_default_source_matches_direct_policy(self):
+        inst = weighted()
+        seq = zipf_stream(12, 300, rng=1)
+        a = simulate(inst, seq, RandomizedWeightedPagingPolicy(), seed=5)
+        b = simulate(
+            inst, seq, RandomizedWeightedPagingPolicy(source=SolverSource()), seed=5
+        )
+        assert a.cost == b.cost
+
+    def test_eta_and_source_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            RandomizedWeightedPagingPolicy(eta=0.1, source=SolverSource())
+
+
+class TestTrajectorySource:
+    def test_replaying_solver_trajectory_matches_live_solver(self):
+        # Rounding a recorded trajectory of the online solver makes the
+        # same decisions as rounding the live solver (same seed).
+        inst = random_multilevel_instance(10, 3, 2, rng=2)
+        seq = multilevel_stream(10, 2, 250, rng=3)
+        traj = FractionalMultiLevelSolver(inst).solve(seq)
+        live = simulate(inst, seq, RandomizedMultiLevelPolicy(), seed=7)
+        replay = simulate(
+            inst, seq,
+            RandomizedMultiLevelPolicy(source=TrajectorySource(traj.u)),
+            seed=7,
+        )
+        assert live.cost == replay.cost
+        assert live.final_cache == replay.final_cache
+
+    def test_integral_lp_rounds_to_itself(self):
+        # For l = 1 the offline LP is integral here; the rounding then
+        # reproduces it deterministically at zero extra cost.
+        inst = weighted()
+        seq = zipf_stream(12, 200, rng=4)
+        lp = solve_offline_lp(inst, seq)
+        costs = set()
+        for seed in range(3):
+            src = TrajectorySource(lp.u, lazy=True, seq=seq)
+            r = simulate(
+                inst, seq, RandomizedWeightedPagingPolicy(source=src), seed=seed
+            )
+            costs.add(round(r.cost, 6))
+        assert costs == {round(lp.value, 6)}
+
+    def test_unserved_trajectory_rejected(self):
+        inst = weighted(n=4, k=2)
+        seq = zipf_stream(4, 5, rng=5)
+        bad = np.ones((6, 4, 1))  # never serves anything
+        src = TrajectorySource(bad)
+        with pytest.raises(InfeasibleError):
+            simulate(inst, seq, RandomizedWeightedPagingPolicy(source=src), seed=0)
+
+    def test_exhausted_trajectory_rejected(self):
+        inst = weighted(n=4, k=2)
+        seq = zipf_stream(4, 10, rng=6)
+        short = np.ones((3, 4, 1))
+        short[1:, :, :] = 0.4
+        src = TrajectorySource(short)
+        with pytest.raises(InfeasibleError):
+            simulate(inst, seq, RandomizedWeightedPagingPolicy(source=src), seed=0)
+
+    def test_shape_mismatch_rejected(self):
+        inst = weighted(n=4, k=2)
+        src = TrajectorySource(np.ones((5, 7, 1)))
+        with pytest.raises(InvalidRequestError):
+            src.reset(inst)
+
+    def test_bad_ndim_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            TrajectorySource(np.ones((5, 4)))
+
+    def test_lazy_requires_sequence(self):
+        with pytest.raises(InvalidRequestError):
+            TrajectorySource(np.ones((3, 4, 1)), lazy=True)
+
+
+class TestLazifyTrajectory:
+    def test_serves_all_requests(self):
+        inst = weighted(n=6, k=2)
+        seq = zipf_stream(6, 60, rng=7)
+        lp = solve_offline_lp(inst, seq)
+        lazy = lazify_trajectory(lp.u, seq)
+        for t, req in enumerate(seq, start=1):
+            assert lazy[t, req.page, req.level - 1] <= 1e-9
+
+    def test_dominates_original_off_request(self):
+        inst = weighted(n=6, k=2)
+        seq = zipf_stream(6, 60, rng=8)
+        lp = solve_offline_lp(inst, seq)
+        lazy = lazify_trajectory(lp.u, seq)
+        assert np.all(lazy >= lp.u - 1e-9)
+
+    def test_z_cost_never_increases(self):
+        inst = weighted(n=6, k=2)
+        seq = zipf_stream(6, 80, rng=9)
+        lp = solve_offline_lp(inst, seq)
+        lazy = lazify_trajectory(lp.u, seq)
+        w = inst.weights
+
+        def z_cost(traj):
+            inc = np.maximum(np.diff(traj, axis=0), 0.0)
+            return float((inc * w[None]).sum())
+
+        assert z_cost(lazy) <= z_cost(lp.u) + 1e-6
+
+    def test_monotone_prefixes_preserved(self):
+        inst = random_multilevel_instance(5, 2, 3, rng=10)
+        seq = multilevel_stream(5, 3, 40, rng=11)
+        lp = solve_offline_lp(inst, seq)
+        lazy = lazify_trajectory(lp.u, seq)
+        assert np.all(np.diff(lazy, axis=2) <= 1e-9)
+
+    def test_length_mismatch_rejected(self):
+        seq = zipf_stream(4, 5, rng=12)
+        with pytest.raises(InvalidRequestError):
+            lazify_trajectory(np.ones((3, 4, 1)), seq)

@@ -1,0 +1,100 @@
+"""Tests for ratio computation, growth fitting, and tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, competitive_ratio, fit_growth
+
+
+class TestCompetitiveRatio:
+    def test_plain_ratio(self):
+        assert competitive_ratio(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_additive_slack(self):
+        assert competitive_ratio(10.0, 2.0, additive_slack=4.0) == pytest.approx(3.0)
+
+    def test_slack_never_negative(self):
+        assert competitive_ratio(3.0, 2.0, additive_slack=10.0) == 0.0
+
+    def test_zero_opt_guarded(self):
+        assert competitive_ratio(5.0, 0.0) > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            competitive_ratio(-1.0, 2.0)
+
+
+class TestFitGrowth:
+    def test_recovers_log_k(self):
+        ks = np.array([2, 4, 8, 16, 32, 64, 128])
+        ratios = 1.7 * np.log(ks)
+        assert fit_growth(ks, ratios).best_shape == "log k"
+
+    def test_recovers_linear_k(self):
+        ks = np.array([2, 4, 8, 16, 32])
+        assert fit_growth(ks, 0.4 * ks).best_shape == "k"
+
+    def test_recovers_log_squared(self):
+        ks = np.array([2, 4, 8, 16, 32, 64])
+        ratios = 0.9 * np.log(ks) ** 2
+        assert fit_growth(ks, ratios).best_shape == "log^2 k"
+
+    def test_recovers_constant(self):
+        ks = np.array([2, 4, 8, 16])
+        assert fit_growth(ks, [3.0, 3.1, 2.9, 3.0]).best_shape == "constant"
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        ks = np.array([2, 4, 8, 16, 32, 64, 128, 256])
+        ratios = 2.0 * np.log(ks) * (1 + 0.05 * rng.standard_normal(8))
+        assert fit_growth(ks, ratios).best_shape == "log k"
+
+    def test_coefficients_reported(self):
+        fit = fit_growth([2, 4, 8], [1.0, 2.0, 3.0])
+        assert set(fit.coefficients) == {"constant", "log k", "log^2 k", "k"}
+        assert fit.coefficient("log k") > 0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_growth([2], [1.0])
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "cost"], title="T")
+        t.add_row("lru", 12.5)
+        t.add_row("landlord", 3.0)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "lru" in lines[3] and "12.500" in lines[3]
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row(0.0001)
+        t.add_row(123456.0)
+        t.add_row(1.5)
+        assert t.rows == [["0.0001"], ["1.23e+05"], ["1.500"]]
+
+    def test_to_csv(self):
+        t = Table(["a", "b"])
+        t.add_row(1, 2)
+        assert t.to_csv() == "a,b\n1,2\n"
+
+    def test_extend(self):
+        t = Table(["a"])
+        t.extend([[1], [2]])
+        assert len(t.rows) == 2
+
+    def test_row_arity_enforced(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_render_empty_table(self):
+        t = Table(["col"])
+        assert "col" in t.render()

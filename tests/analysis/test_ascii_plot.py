@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, title="T")
+        assert out.startswith("T\n")
+        assert "o a" in out
+        assert out.count("|") >= 16 * 2  # left+right borders per row
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart(
+            [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}
+        )
+        assert "o a" in out and "x b" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_on_borders(self):
+        out = line_chart([1, 2], {"s": [0.0, 10.0]}, width=20, height=5)
+        lines = out.splitlines()
+        assert lines[0].lstrip().startswith("10")
+        assert any(line.lstrip().startswith("0 ") for line in lines)
+
+    def test_logx_spacing(self):
+        # With log spacing, 2 -> 4 -> 8 are equidistant columns.
+        out = line_chart([2, 4, 8], {"s": [1, 1, 1]}, logx=True, width=21,
+                         height=4)
+        row = next(line for line in out.splitlines() if "o" in line)
+        body = row.split("|")[1]
+        cols = [i for i, c in enumerate(body) if c == "o"]
+        assert len(cols) == 3
+        assert cols[1] - cols[0] == cols[2] - cols[1]
+
+    def test_x_labels_present(self):
+        out = line_chart([4, 64], {"s": [1, 2]})
+        assert "4" in out and "64" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [1]})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1]})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1, 2]}, width=5)
+
+    def test_flat_series_does_not_crash(self):
+        out = line_chart([1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+        assert "o" in out
+
+
+class TestBarChart:
+    def test_scaling(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart({"long-name": 1.0, "x": 1.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="costs")
+        assert out.startswith("costs\n")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=2)

@@ -1,0 +1,76 @@
+"""Tests for table parsing and report consolidation."""
+
+import pytest
+
+from repro.analysis import Table
+from repro.analysis.report import consolidate_results, parse_table
+
+
+class TestParseTable:
+    def _render(self):
+        t = Table(["k", "policy name", "cost"], title="demo")
+        t.add_row(4, "lru", 12.5)
+        t.add_row(8, "water filling", 3.0)
+        return t.render()
+
+    def test_round_trip(self):
+        parsed = parse_table(self._render())
+        assert parsed.title == "demo"
+        assert parsed.columns == ["k", "policy name", "cost"]
+        assert parsed.rows == [["4", "lru", "12.500"],
+                               ["8", "water filling", "3.000"]]
+
+    def test_values_with_single_spaces_survive(self):
+        parsed = parse_table(self._render())
+        assert parsed.column("policy name") == ["lru", "water filling"]
+
+    def test_floats_helper(self):
+        parsed = parse_table(self._render())
+        assert parsed.floats("cost") == [12.5, 3.0]
+
+    def test_missing_column_raises(self):
+        parsed = parse_table(self._render())
+        with pytest.raises(KeyError):
+            parsed.column("nope")
+
+    def test_untitled_table(self):
+        t = Table(["a"])
+        t.add_row(1)
+        parsed = parse_table(t.render())
+        assert parsed.title == ""
+        assert parsed.rows == [["1"]]
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            parse_table("\n\n")
+
+
+class TestConsolidate:
+    def test_gathers_artifacts(self, tmp_path):
+        t = Table(["x"], title="alpha")
+        t.add_row(1)
+        (tmp_path / "a.txt").write_text(t.render())
+        t2 = Table(["y"], title="beta")
+        t2.add_row(2)
+        (tmp_path / "b.txt").write_text(t2.render())
+        doc = consolidate_results(tmp_path)
+        assert doc.startswith("# Benchmark results")
+        assert "## alpha" in doc and "## beta" in doc
+        assert doc.index("## alpha") < doc.index("## beta")
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            consolidate_results(tmp_path / "nope")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            consolidate_results(tmp_path)
+
+    def test_real_results_dir_if_present(self):
+        from pathlib import Path
+
+        results = Path(__file__).parents[2] / "benchmarks" / "results"
+        if not results.is_dir() or not list(results.glob("*.txt")):
+            pytest.skip("no benchmark artifacts yet")
+        doc = consolidate_results(results)
+        assert "E1" in doc or "e1" in doc

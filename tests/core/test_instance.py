@@ -1,0 +1,166 @@
+"""Tests for the instance classes and their validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import (
+    MultiLevelInstance,
+    RWPagingInstance,
+    WeightedPagingInstance,
+    WritebackInstance,
+)
+from repro.errors import InvalidInstanceError, InvalidRequestError
+
+
+def simple_ml(n=6, l=3, k=3):
+    w = np.tile(np.array([8.0, 4.0, 1.0][:l]), (n, 1))
+    return MultiLevelInstance(k, w)
+
+
+class TestMultiLevelInstance:
+    def test_shape_accessors(self):
+        inst = simple_ml()
+        assert inst.n_pages == 6
+        assert inst.n_levels == 3
+        assert inst.cache_size == 3
+
+    def test_weight_lookup_one_based(self):
+        inst = simple_ml()
+        assert inst.weight(0, 1) == 8.0
+        assert inst.weight(0, 3) == 1.0
+
+    def test_1d_weights_promoted(self):
+        inst = MultiLevelInstance(2, np.array([3.0, 2.0, 5.0]))
+        assert inst.n_levels == 1
+        assert inst.weight(2, 1) == 5.0
+
+    def test_weights_read_only(self):
+        inst = simple_ml()
+        with pytest.raises(ValueError):
+            inst.weights[0, 0] = 100.0
+
+    def test_increasing_levels_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiLevelInstance(1, np.array([[1.0, 2.0], [3.0, 2.0]]))
+
+    def test_weights_below_one_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiLevelInstance(1, np.array([[2.0, 0.5], [2.0, 1.0]]))
+
+    def test_nonfinite_weights_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiLevelInstance(1, np.array([[np.inf, 1.0], [2.0, 1.0]]))
+
+    def test_cache_as_large_as_universe_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiLevelInstance(3, np.ones((3, 1)))
+
+    def test_nonpositive_cache_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiLevelInstance(0, np.ones((3, 1)))
+
+    def test_check_copy_bounds(self):
+        inst = simple_ml()
+        with pytest.raises(InvalidRequestError):
+            inst.check_copy(6, 1)
+        with pytest.raises(InvalidRequestError):
+            inst.check_copy(0, 4)
+        inst.check_copy(5, 3)  # in range: no raise
+
+    def test_validate_sequence_bounds(self):
+        inst = simple_ml()
+        inst.validate_sequence(np.array([0, 5]), np.array([1, 3]))
+        with pytest.raises(InvalidRequestError):
+            inst.validate_sequence(np.array([0, 6]), np.array([1, 1]))
+        with pytest.raises(InvalidRequestError):
+            inst.validate_sequence(np.array([0]), np.array([4]))
+
+    def test_weight_class_boundaries(self):
+        inst = MultiLevelInstance(1, np.array([[1.0], [2.0], [2.5], [4.0], [9.0]]))
+        assert inst.weight_class(0, 1) == 1  # w=1 widened into class 1
+        assert inst.weight_class(1, 1) == 1  # w=2 in (1, 2]
+        assert inst.weight_class(2, 1) == 2  # w=2.5 in (2, 4]
+        assert inst.weight_class(3, 1) == 2  # w=4 in (2, 4]
+        assert inst.weight_class(4, 1) == 4  # w=9 in (8, 16]
+
+    def test_weight_classes_matrix_matches_scalar(self):
+        inst = simple_ml()
+        classes = inst.weight_classes()
+        for p in range(inst.n_pages):
+            for i in range(1, inst.n_levels + 1):
+                assert classes[p, i - 1] == inst.weight_class(p, i)
+
+    def test_has_geometric_levels(self):
+        assert simple_ml().has_geometric_levels()
+        inst = MultiLevelInstance(1, np.array([[3.0, 2.0], [3.0, 2.0]]))
+        assert not inst.has_geometric_levels()
+
+    def test_equality_and_hash(self):
+        assert simple_ml() == simple_ml()
+        assert hash(simple_ml()) == hash(simple_ml())
+        assert simple_ml(k=2) != simple_ml(k=3)
+
+
+class TestWeightedPagingInstance:
+    def test_is_single_level(self):
+        inst = WeightedPagingInstance(2, [5.0, 3.0, 1.0, 1.0])
+        assert inst.n_levels == 1
+        assert inst.page_weight(0) == 5.0
+        assert inst.page_weights.tolist() == [5.0, 3.0, 1.0, 1.0]
+
+    def test_uniform_constructor(self):
+        inst = WeightedPagingInstance.uniform(8, 3)
+        assert inst.n_pages == 8
+        assert np.all(inst.page_weights == 1.0)
+
+    def test_2d_weights_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            WeightedPagingInstance(1, np.ones((3, 2)))
+
+
+class TestRWPagingInstance:
+    def test_copy_weights(self):
+        inst = RWPagingInstance(2, [10.0, 6.0, 4.0], [2.0, 3.0, 4.0])
+        assert inst.n_levels == 2
+        assert inst.write_weights.tolist() == [10.0, 6.0, 4.0]
+        assert inst.read_weights.tolist() == [2.0, 3.0, 4.0]
+
+    def test_read_above_write_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            RWPagingInstance(1, [2.0, 2.0], [3.0, 1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            RWPagingInstance(1, [2.0, 2.0], [1.0])
+
+
+class TestWritebackInstance:
+    def test_eviction_costs(self):
+        inst = WritebackInstance(2, [10.0, 5.0, 2.0], [1.0, 2.0, 2.0])
+        assert inst.eviction_cost(0, dirty=True) == 10.0
+        assert inst.eviction_cost(0, dirty=False) == 1.0
+
+    def test_uniform_constructor(self):
+        inst = WritebackInstance.uniform(5, 2, dirty_cost=8.0)
+        assert np.all(inst.dirty_weights == 8.0)
+        assert np.all(inst.clean_weights == 1.0)
+
+    def test_clean_above_dirty_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            WritebackInstance(1, [2.0, 2.0], [3.0, 1.0])
+
+    def test_clean_below_one_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            WritebackInstance(1, [2.0, 2.0], [0.5, 1.0])
+
+    def test_out_of_range_page(self):
+        inst = WritebackInstance.uniform(3, 1, 4.0)
+        with pytest.raises(InvalidRequestError):
+            inst.eviction_cost(3, True)
+
+    def test_equality(self):
+        a = WritebackInstance.uniform(4, 2, 6.0)
+        b = WritebackInstance.uniform(4, 2, 6.0)
+        c = WritebackInstance.uniform(4, 2, 7.0)
+        assert a == b
+        assert a != c

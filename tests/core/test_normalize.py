@@ -1,0 +1,118 @@
+"""Tests for geometric level normalization (the paper's WLOG merge)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import MultiLevelInstance
+from repro.core.normalize import normalize_instance
+from repro.core.requests import RequestSequence
+
+
+class TestNormalizeInstance:
+    def test_already_geometric_is_identity_map(self):
+        inst = MultiLevelInstance(2, np.tile([8.0, 4.0, 2.0], (5, 1)))
+        norm = normalize_instance(inst)
+        assert norm.instance.n_levels == 3
+        assert np.array_equal(norm.instance.weights, inst.weights)
+        assert np.array_equal(norm.level_map, np.tile([1, 2, 3], (5, 1)))
+
+    def test_close_levels_merged(self):
+        # 8, 5 are within a factor 2 -> merged; 2 starts a new group.
+        inst = MultiLevelInstance(1, np.array([[8.0, 5.0, 2.0], [8.0, 5.0, 2.0]]))
+        norm = normalize_instance(inst)
+        assert norm.instance.n_levels == 2
+        assert norm.instance.weights[0].tolist() == [8.0, 2.0]
+        assert norm.level_map[0].tolist() == [1, 1, 2]
+
+    def test_result_is_geometric(self):
+        inst = MultiLevelInstance(1, np.array([[9.0, 7.0, 5.0, 3.0, 2.0, 1.5, 1.0]] * 3))
+        norm = normalize_instance(inst)
+        assert norm.instance.has_geometric_levels()
+
+    def test_padding_for_ragged_group_counts(self):
+        # Page 0 collapses to one group, page 1 keeps two.
+        inst = MultiLevelInstance(1, np.array([[3.0, 2.0], [8.0, 2.0]]))
+        norm = normalize_instance(inst)
+        assert norm.instance.n_levels == 2
+        # Page 0 padded at the front with a heavier synthetic level.
+        assert norm.instance.weights[0, 0] == pytest.approx(6.0)
+        assert norm.instance.weights[0, 1] == pytest.approx(3.0)
+        # Requests for page 0 never reach the padded level.
+        assert norm.level_map[0].min() == 2
+
+    def test_map_request_targets_representative(self):
+        inst = MultiLevelInstance(1, np.array([[8.0, 5.0, 2.0]] * 2))
+        norm = normalize_instance(inst)
+        assert norm.map_request(0, 2) == (0, 1)
+        assert norm.map_request(0, 3) == (0, 2)
+
+    def test_map_sequence_matches_scalar_map(self):
+        inst = MultiLevelInstance(1, np.array([[8.0, 5.0, 2.0], [4.0, 3.0, 1.0]]))
+        norm = normalize_instance(inst)
+        seq = RequestSequence.from_pairs([(0, 1), (0, 3), (1, 2), (1, 3)])
+        mapped = norm.map_sequence(seq)
+        for orig, new in zip(seq, mapped):
+            assert (new.page, new.level) == norm.map_request(orig.page, orig.level)
+
+    def test_representative_within_factor_two(self):
+        inst = MultiLevelInstance(1, np.array([[9.0, 7.0, 5.0, 3.0, 2.0, 1.5, 1.0]] * 2))
+        norm = normalize_instance(inst)
+        for i in range(1, inst.n_levels + 1):
+            _, new_level = norm.map_request(0, i)
+            rep = norm.instance.weight(0, new_level)
+            orig = inst.weight(0, i)
+            assert orig <= rep < 2 * orig + 1e-9
+
+    def test_bad_ratio_rejected(self):
+        inst = MultiLevelInstance(1, np.ones((2, 1)) * 2)
+        with pytest.raises(ValueError):
+            normalize_instance(inst, ratio=1.0)
+
+
+@st.composite
+def _weight_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    levels = draw(st.integers(min_value=1, max_value=5))
+    rows = []
+    for _ in range(n):
+        vals = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=1.0, max_value=64.0, allow_nan=False),
+                    min_size=levels, max_size=levels,
+                )
+            ),
+            reverse=True,
+        )
+        rows.append(vals)
+    return np.array(rows)
+
+
+class TestNormalizeProperties:
+    @given(_weight_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_is_geometric_and_maps_valid(self, weights):
+        inst = MultiLevelInstance(1, weights)
+        norm = normalize_instance(inst)
+        assert norm.instance.has_geometric_levels()
+        for p in range(inst.n_pages):
+            for i in range(1, inst.n_levels + 1):
+                _, new_level = norm.map_request(p, i)
+                assert 1 <= new_level <= norm.instance.n_levels
+                rep = norm.instance.weight(p, new_level)
+                orig = inst.weight(p, i)
+                # Representative is at least as heavy and within factor 2.
+                assert rep >= orig - 1e-9
+                assert rep < 2 * orig + 1e-6
+
+    @given(_weight_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_level_map_is_monotone(self, weights):
+        # Requests for lower levels map to lower (or equal) new levels.
+        inst = MultiLevelInstance(1, weights)
+        norm = normalize_instance(inst)
+        for p in range(inst.n_pages):
+            mapped = norm.level_map[p]
+            assert np.all(np.diff(mapped) >= 0)

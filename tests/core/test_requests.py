@@ -1,0 +1,139 @@
+"""Tests for request types and columnar sequences."""
+
+import numpy as np
+import pytest
+
+from repro.core.requests import (
+    Request,
+    RequestSequence,
+    WBRequest,
+    WBRequestSequence,
+)
+from repro.errors import InvalidRequestError
+
+
+class TestRequest:
+    def test_defaults_to_level_one(self):
+        assert Request(3).level == 1
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            Request(-1)
+
+    def test_zero_level_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            Request(0, 0)
+
+    def test_is_hashable_and_frozen(self):
+        r = Request(1, 2)
+        assert hash(r) == hash(Request(1, 2))
+        with pytest.raises(AttributeError):
+            r.page = 5  # type: ignore[misc]
+
+
+class TestWBRequest:
+    def test_defaults_to_read(self):
+        assert WBRequest(0).is_write is False
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            WBRequest(-2, True)
+
+
+class TestRequestSequence:
+    def test_from_pairs_roundtrip(self):
+        seq = RequestSequence.from_pairs([(0, 1), (3, 2), (1, 1)])
+        assert list(seq) == [Request(0, 1), Request(3, 2), Request(1, 1)]
+
+    def test_from_requests(self):
+        reqs = [Request(5, 2), Request(0, 1)]
+        seq = RequestSequence.from_requests(reqs)
+        assert list(seq) == reqs
+
+    def test_from_pages_single_level(self):
+        seq = RequestSequence.from_pages([4, 2, 4])
+        assert seq.levels.tolist() == [1, 1, 1]
+        assert seq.pages.tolist() == [4, 2, 4]
+
+    def test_columnar_arrays_read_only(self):
+        seq = RequestSequence.from_pages([1, 2])
+        with pytest.raises(ValueError):
+            seq.pages[0] = 9
+
+    def test_len_and_getitem(self):
+        seq = RequestSequence.from_pairs([(0, 1), (1, 2)])
+        assert len(seq) == 2
+        assert seq[1] == Request(1, 2)
+        assert seq[-1] == Request(1, 2)
+
+    def test_slicing_returns_sequence(self):
+        seq = RequestSequence.from_pages([0, 1, 2, 3])
+        sub = seq[1:3]
+        assert isinstance(sub, RequestSequence)
+        assert sub.pages.tolist() == [1, 2]
+
+    def test_concatenation(self):
+        a = RequestSequence.from_pages([0, 1])
+        b = RequestSequence.from_pages([2])
+        assert (a + b).pages.tolist() == [0, 1, 2]
+
+    def test_equality_and_hash(self):
+        a = RequestSequence.from_pages([0, 1])
+        b = RequestSequence.from_pages([0, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != RequestSequence.from_pages([1, 0])
+
+    def test_stats(self):
+        seq = RequestSequence.from_pairs([(0, 1), (7, 3), (0, 2)])
+        assert seq.max_page() == 7
+        assert seq.max_level() == 3
+        assert seq.distinct_pages() == 2
+
+    def test_empty_stats(self):
+        seq = RequestSequence.from_pages([])
+        assert seq.max_page() == -1
+        assert seq.max_level() == 0
+        assert len(seq) == 0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            RequestSequence(np.array([1, 2]), np.array([1]))
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            RequestSequence(np.array([1]), np.array([0]))
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            RequestSequence(np.array([-1]), np.array([1]))
+
+
+class TestWBRequestSequence:
+    def test_from_pairs_roundtrip(self):
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False)])
+        assert list(seq) == [WBRequest(0, True), WBRequest(1, False)]
+
+    def test_write_fraction(self):
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False), (2, True), (3, True)])
+        assert seq.write_fraction() == pytest.approx(0.75)
+
+    def test_write_fraction_empty(self):
+        assert WBRequestSequence.from_pairs([]).write_fraction() == 0.0
+
+    def test_concatenation_and_slice(self):
+        a = WBRequestSequence.from_pairs([(0, True)])
+        b = WBRequestSequence.from_pairs([(1, False)])
+        combined = a + b
+        assert len(combined) == 2
+        assert combined[1:].pages.tolist() == [1]
+
+    def test_equality(self):
+        a = WBRequestSequence.from_pairs([(0, True)])
+        b = WBRequestSequence.from_pairs([(0, True)])
+        c = WBRequestSequence.from_pairs([(0, False)])
+        assert a == b
+        assert a != c
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            WBRequestSequence(np.array([1]), np.array([True, False]))

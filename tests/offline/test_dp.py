@@ -1,0 +1,164 @@
+"""Tests for the exact offline dynamic programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import (
+    MultiLevelInstance,
+    WeightedPagingInstance,
+    WritebackInstance,
+)
+from repro.core.reductions import (
+    writeback_to_rw_instance,
+    writeback_to_rw_sequence,
+)
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import StateSpaceTooLargeError
+from repro.offline.dp import (
+    enumerate_states,
+    offline_opt_multilevel,
+    offline_opt_writeback,
+)
+
+
+class TestEnumerateStates:
+    def test_counts_single_level(self):
+        # n=4, l=1, k=2: states = subsets of size <= 2 -> 1+4+6 = 11.
+        states = enumerate_states(4, 1, 2)
+        assert states.shape == (11, 4)
+
+    def test_counts_two_level(self):
+        # n=3, l=2, k=1: empty + 3 pages * 2 levels = 7.
+        states = enumerate_states(3, 2, 1)
+        assert states.shape == (7, 3)
+
+    def test_limit_enforced(self):
+        with pytest.raises(StateSpaceTooLargeError):
+            enumerate_states(10, 3, 5, max_states=100)
+
+
+class TestMultiLevelDP:
+    def test_no_cost_when_cache_fits_everything_hot(self):
+        inst = WeightedPagingInstance.uniform(4, 3)
+        seq = RequestSequence.from_pages([0, 1, 2, 0, 1, 2])
+        assert offline_opt_multilevel(inst, seq) == 0.0
+
+    def test_single_unavoidable_eviction(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        # Three distinct pages with k=2: exactly one eviction.
+        seq = RequestSequence.from_pages([0, 1, 2])
+        assert offline_opt_multilevel(inst, seq) == 1.0
+
+    def test_opt_evicts_cheapest(self):
+        inst = WeightedPagingInstance(2, [10.0, 5.0, 1.0])
+        seq = RequestSequence.from_pages([0, 1, 2])
+        # Cache {0, 1} is full when 2 arrives; OPT evicts the cheaper of
+        # the two cached pages (page 1, weight 5).
+        assert offline_opt_multilevel(inst, seq) == pytest.approx(5.0)
+
+    def test_cycle_cost_matches_belady(self):
+        from repro.offline.belady import belady_cost
+
+        inst = WeightedPagingInstance.uniform(4, 3)
+        seq = RequestSequence.from_pages(list(range(4)) * 5)
+        dp = offline_opt_multilevel(inst, seq)
+        bel = belady_cost(inst, seq)
+        assert dp == bel
+
+    def test_multilevel_prefers_heavy_copy_when_reused(self):
+        # One page requested at level 1 then repeatedly at level 2: OPT
+        # keeps the level-1 copy (serves both) rather than downgrading.
+        inst = MultiLevelInstance(1, np.tile([4.0, 1.0], (3, 1)))
+        seq = RequestSequence.from_pairs([(0, 1), (0, 2), (0, 2), (0, 1)])
+        assert offline_opt_multilevel(inst, seq) == 0.0
+
+    def test_multilevel_downgrade_has_eviction_cost(self):
+        # k=1: page 0 at level 1, then page 1, then page 0 at level 2.
+        # Every transition evicts the single cached copy.
+        inst = MultiLevelInstance(1, np.tile([4.0, 1.0], (2, 1)))
+        seq = RequestSequence.from_pairs([(0, 1), (1, 2), (0, 2)])
+        # Evict (0,1) for page 1's copy (cost 4)... or serve (0,1) with a
+        # cheaper plan: fetch (0,1), evict it (4) fetch (1,2), evict (1)
+        # fetch (0,2). Cost 4 + 1 = 5. Alternative: hold (0,1)? Cache k=1
+        # cannot. OPT = 5? No: OPT could fetch (1,2) evicting (0,1) [4],
+        # then (0,2) evicting (1,2) [1] -> 5. But smarter: serve t=0 with
+        # (0,1) then evict for (1,2): unavoidable 4; final fetch free after
+        # evicting (1,2): +1. OPT = 5.
+        assert offline_opt_multilevel(inst, seq) == pytest.approx(5.0)
+
+    def test_empty_sequence_is_free(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        seq = RequestSequence.from_pages([])
+        assert offline_opt_multilevel(inst, seq) == 0.0
+
+
+class TestOnlineNeverBeatsDP:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_lru_and_waterfilling_dominate_opt(self, seed):
+        from repro.algorithms import LRUPolicy, WaterFillingPolicy
+        from repro.sim import simulate
+        from repro.workloads import random_multilevel_instance, multilevel_stream
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 6))
+        k = int(rng.integers(1, n))
+        l = int(rng.integers(1, 3))
+        inst = random_multilevel_instance(n, k, l, rng=rng, high=8.0)
+        seq = multilevel_stream(n, l, 40, rng=rng)
+        opt = offline_opt_multilevel(inst, seq)
+        for policy in [LRUPolicy(), WaterFillingPolicy()]:
+            online = simulate(inst, seq, policy).cost
+            assert online >= opt - 1e-9
+
+
+class TestWritebackDP:
+    def test_dirty_page_eviction_unavoidable(self):
+        inst = WritebackInstance(1, [5.0, 5.0], [1.0, 1.0])
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False)])
+        # Page 0 is written then must leave for page 1: w1 = 5.
+        assert offline_opt_writeback(inst, seq) == pytest.approx(5.0)
+
+    def test_clean_eviction_when_never_written(self):
+        inst = WritebackInstance(1, [5.0, 5.0], [1.0, 1.0])
+        seq = WBRequestSequence.from_pairs([(0, False), (1, False)])
+        assert offline_opt_writeback(inst, seq) == pytest.approx(1.0)
+
+    def test_rewrite_does_not_double_charge(self):
+        inst = WritebackInstance(1, [5.0, 5.0], [1.0, 1.0])
+        seq = WBRequestSequence.from_pairs(
+            [(0, True), (0, True), (0, True), (1, False)]
+        )
+        assert offline_opt_writeback(inst, seq) == pytest.approx(5.0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_lemma_2_1_equality_of_optima(self, seed):
+        """The paper's Lemma 2.1: writeback OPT == RW-paging OPT."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 6))
+        k = int(rng.integers(1, n))
+        w2 = rng.integers(1, 4, size=n).astype(float)
+        w1 = w2 + rng.integers(0, 6, size=n).astype(float)
+        inst = WritebackInstance(k, w1, w2)
+        pages = rng.integers(0, n, size=30)
+        writes = rng.random(30) < 0.4
+        seq = WBRequestSequence(pages, writes)
+        native = offline_opt_writeback(inst, seq)
+        reduced = offline_opt_multilevel(
+            writeback_to_rw_instance(inst), writeback_to_rw_sequence(seq)
+        )
+        assert native == pytest.approx(reduced)
+
+    def test_online_wb_policies_dominate_opt(self):
+        from repro.algorithms import WBLandlordPolicy, WBLRUPolicy
+        from repro.sim import simulate_writeback
+        from repro.workloads import readwrite_stream
+
+        inst = WritebackInstance.uniform(5, 2, dirty_cost=6.0)
+        seq = readwrite_stream(5, 60, write_fraction=0.3, rng=0)
+        opt = offline_opt_writeback(inst, seq)
+        for policy in [WBLRUPolicy(), WBLandlordPolicy()]:
+            assert simulate_writeback(inst, seq, policy).cost >= opt - 1e-9

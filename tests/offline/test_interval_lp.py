@@ -1,0 +1,87 @@
+"""Tests for the interval LP formulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import MultiLevelInstance, WeightedPagingInstance
+from repro.core.requests import RequestSequence
+from repro.errors import InvalidInstanceError
+from repro.offline import (
+    fractional_offline_opt,
+    offline_opt_multilevel,
+    solve_interval_lp,
+)
+from repro.workloads import sample_weights, zipf_stream
+
+
+class TestIntervalLP:
+    def test_zero_when_cache_fits(self):
+        inst = WeightedPagingInstance.uniform(4, 3)
+        seq = RequestSequence.from_pages([0, 1, 2, 0, 1, 2])
+        res = solve_interval_lp(inst, seq)
+        assert res.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_eviction(self):
+        inst = WeightedPagingInstance(2, [4.0, 2.0, 1.0])
+        seq = RequestSequence.from_pages([0, 1, 2])
+        res = solve_interval_lp(inst, seq)
+        # The binding row forces one unit spread over pages 0 and 1; the
+        # cheapest is to evict page 1 (weight 2).
+        assert res.value == pytest.approx(2.0, abs=1e-7)
+
+    def test_variables_keyed_by_interval(self):
+        inst = WeightedPagingInstance(1, [3.0, 5.0])
+        seq = RequestSequence.from_pages([0, 1, 0, 1])
+        res = solve_interval_lp(inst, seq)
+        # Page 0 has two intervals with positive eviction, page 1 one.
+        assert res.x[(0, 0)] == pytest.approx(1.0, abs=1e-7)
+        assert res.x[(0, 1)] == pytest.approx(1.0, abs=1e-7)
+        assert res.x[(1, 0)] == pytest.approx(1.0, abs=1e-7)
+        assert res.value == pytest.approx(3.0 + 3.0 + 5.0, abs=1e-6)
+
+    def test_empty_sequence(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        res = solve_interval_lp(inst, RequestSequence.from_pages([]))
+        assert res.value == 0.0
+        assert res.n_constraints == 0
+
+    def test_multilevel_rejected(self):
+        inst = MultiLevelInstance(1, np.tile([2.0, 1.0], (3, 1)))
+        with pytest.raises(InvalidInstanceError):
+            solve_interval_lp(inst, RequestSequence.from_pages([0]))
+
+    def test_matches_time_indexed_lp(self):
+        inst = WeightedPagingInstance(3, sample_weights(9, rng=0, high=8.0))
+        seq = zipf_stream(9, 150, rng=1)
+        interval = solve_interval_lp(inst, seq).value
+        time_indexed = fractional_offline_opt(inst, seq)
+        assert interval == pytest.approx(time_indexed, abs=1e-5)
+
+    def test_lower_bounds_integral_opt(self):
+        inst = WeightedPagingInstance(2, sample_weights(6, rng=2, high=8.0))
+        seq = zipf_stream(6, 80, rng=3)
+        assert solve_interval_lp(inst, seq).value <= \
+            offline_opt_multilevel(inst, seq) + 1e-6
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_equals_time_indexed(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 9))
+        k = int(rng.integers(1, n))
+        inst = WeightedPagingInstance(k, sample_weights(n, rng=rng, high=8.0))
+        seq = RequestSequence.from_pages(rng.integers(0, n, size=80))
+        interval = solve_interval_lp(inst, seq).value
+        time_indexed = fractional_offline_opt(inst, seq)
+        assert interval == pytest.approx(time_indexed, abs=1e-5)
+
+    def test_much_smaller_than_time_indexed(self):
+        # The point of the interval formulation: variable count is the
+        # number of requests, not pages x time.
+        inst = WeightedPagingInstance(4, sample_weights(16, rng=4))
+        seq = zipf_stream(16, 300, rng=5)
+        res = solve_interval_lp(inst, seq)
+        assert len(res.x) <= len(seq)
+        assert res.n_constraints <= len(seq)

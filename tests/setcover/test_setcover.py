@@ -1,0 +1,226 @@
+"""Tests for the set cover substrate (instances, offline, online)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, InvalidInstanceError
+from repro.setcover import (
+    OnlineFractionalSetCover,
+    OnlineRandomizedSetCover,
+    SetSystem,
+    greedy_cover,
+    hard_instance_family,
+    lp_cover_value,
+    planted_cover_system,
+    random_system,
+)
+
+
+class TestSetSystem:
+    def test_membership_matrix(self):
+        sys_ = SetSystem(4, [[0, 1], [2, 3], [1, 2]])
+        assert sys_.n_sets == 3
+        assert sys_.membership[0].tolist() == [True, True, False, False]
+
+    def test_sets_containing_and_avoiding(self):
+        sys_ = SetSystem(4, [[0, 1], [2, 3], [1, 2]])
+        assert sys_.sets_containing(1).tolist() == [0, 2]
+        assert sys_.sets_avoiding(1).tolist() == [1]
+
+    def test_is_cover(self):
+        sys_ = SetSystem(4, [[0, 1], [2, 3], [1, 2]])
+        assert sys_.is_cover([0, 1], [0, 1, 2, 3])
+        assert not sys_.is_cover([0], [2])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetSystem(3, [[0], []])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetSystem(3, [[0, 3]])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetSystem(3, [])
+
+
+class TestGenerators:
+    def test_random_system_fully_coverable(self):
+        sys_ = random_system(30, 8, density=0.1, rng=0)
+        assert sys_.coverable(range(30))
+
+    def test_random_system_density_validated(self):
+        with pytest.raises(InvalidInstanceError):
+            random_system(10, 3, density=0.0)
+
+    def test_planted_cover_is_valid_and_partition(self):
+        sys_, planted = planted_cover_system(20, 8, 4, rng=1)
+        assert len(planted) == 4
+        assert sys_.is_cover(planted, range(20))
+        # Planted blocks partition the universe.
+        sizes = sum(len(sys_.sets[i]) for i in planted)
+        assert sizes == 20
+
+    def test_planted_optimum_matches_lp(self):
+        sys_, planted = planted_cover_system(24, 10, 3, rng=2)
+        lp = lp_cover_value(sys_, range(24))
+        # Decoys avoid a block each, so the planted cover is optimal.
+        assert lp <= len(planted) + 1e-9
+        greedy = greedy_cover(sys_, range(24))
+        assert sys_.is_cover(greedy, range(24))
+
+
+class TestGreedy:
+    def test_exact_on_partition(self):
+        sys_ = SetSystem(6, [[0, 1], [2, 3], [4, 5]])
+        cover = greedy_cover(sys_, range(6))
+        assert sorted(cover) == [0, 1, 2]
+
+    def test_greedy_can_overshoot_optimum(self):
+        # The textbook trap: greedy grabs the big decoy {0,2,4} first and
+        # then needs all three pair-sets -> 4 sets vs OPT = 3.
+        sys_ = SetSystem(6, [[0, 1], [2, 3], [4, 5], [0, 2, 4]])
+        cover = greedy_cover(sys_, range(6))
+        assert sys_.is_cover(cover, range(6))
+        assert len(cover) == 4
+
+    def test_covers_requested_only(self):
+        sys_ = SetSystem(6, [[0], [1], [2], [3], [4], [5]])
+        cover = greedy_cover(sys_, [1, 3])
+        assert sorted(cover) == [1, 3]
+
+    def test_uncoverable_rejected(self):
+        sys_ = SetSystem(3, [[0]])
+        with pytest.raises(InfeasibleError):
+            greedy_cover(sys_, [2])
+
+    def test_empty_request(self):
+        sys_ = SetSystem(3, [[0, 1, 2]])
+        assert greedy_cover(sys_, []) == []
+
+
+class TestLPCover:
+    def test_lower_bounds_greedy(self):
+        sys_ = random_system(25, 10, rng=3)
+        elems = list(range(25))
+        assert lp_cover_value(sys_, elems) <= len(greedy_cover(sys_, elems)) + 1e-9
+
+    def test_integrality_gap_instance(self):
+        # The classic gap: universe = nonzero vectors of F_2^d, sets =
+        # "inner product 1" halfspaces: fractional ~2, integral ~d.
+        d = 4
+        vecs = [v for v in range(1, 2 ** d)]
+        sets = []
+        for s in vecs:
+            members = [
+                i for i, v in enumerate(vecs)
+                if bin(v & s).count("1") % 2 == 1
+            ]
+            sets.append(members)
+        sys_ = SetSystem(len(vecs), sets)
+        lp = lp_cover_value(sys_, range(len(vecs)))
+        integral = len(greedy_cover(sys_, range(len(vecs))))
+        assert lp <= 2.0 + 1e-6
+        assert integral >= d  # needs ~log n sets integrally
+
+    def test_empty_request_is_zero(self):
+        sys_ = SetSystem(3, [[0, 1, 2]])
+        assert lp_cover_value(sys_, []) == 0.0
+
+
+class TestOnlineFractional:
+    def test_covers_each_arrival(self):
+        sys_ = random_system(20, 8, rng=4)
+        alg = OnlineFractionalSetCover(sys_)
+        for e in range(10):
+            alg.arrive(e)
+            assert alg.cover_mass(e) >= 1.0 - 1e-9
+
+    def test_monotone_cost(self):
+        sys_ = random_system(20, 8, rng=5)
+        alg = OnlineFractionalSetCover(sys_)
+        prev = 0.0
+        for e in range(10):
+            alg.arrive(e)
+            assert alg.fractional_cost >= prev - 1e-12
+            prev = alg.fractional_cost
+
+    def test_competitive_vs_lp(self):
+        # O(log m) competitiveness: generous constant-checked bound.
+        sys_ = random_system(40, 16, density=0.15, rng=6)
+        elems = list(range(40))
+        alg = OnlineFractionalSetCover(sys_)
+        for e in elems:
+            alg.arrive(e)
+        lp = lp_cover_value(sys_, elems)
+        assert alg.fractional_cost <= 8.0 * np.log(16 + 1) * max(lp, 1.0)
+
+    def test_uncoverable_element_rejected(self):
+        sys_ = SetSystem(3, [[0]])
+        with pytest.raises(InfeasibleError):
+            OnlineFractionalSetCover(sys_).arrive(1)
+
+
+class TestOnlineRandomized:
+    def test_final_cover_valid(self):
+        sys_ = random_system(30, 10, rng=7)
+        elems = list(np.random.default_rng(8).integers(0, 30, size=20))
+        alg = OnlineRandomizedSetCover(sys_, rng=9)
+        cover = alg.run(elems)
+        assert sys_.is_cover(cover, elems)
+
+    def test_cover_only_grows(self):
+        sys_ = random_system(30, 10, rng=10)
+        alg = OnlineRandomizedSetCover(sys_, rng=11)
+        sizes = []
+        for e in range(15):
+            alg.arrive(e)
+            sizes.append(alg.cover_size)
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_valid_cover(self, seed):
+        rng = np.random.default_rng(seed)
+        sys_ = random_system(15, 6, density=0.25, rng=rng)
+        elems = rng.integers(0, 15, size=10).tolist()
+        alg = OnlineRandomizedSetCover(sys_, rng=rng)
+        cover = alg.run(elems)
+        assert sys_.is_cover(cover, elems)
+
+    def test_expected_size_reasonable(self):
+        sys_, planted = planted_cover_system(30, 12, 4, rng=12)
+        elems = list(range(30))
+        sizes = [
+            len(OnlineRandomizedSetCover(sys_, rng=s).run(elems))
+            for s in range(8)
+        ]
+        # O(log m log n) * OPT with small constants on these sizes.
+        assert np.mean(sizes) <= len(planted) * np.log(12) * np.log(30)
+
+
+class TestHardFamily:
+    def test_structure(self):
+        fam = hard_instance_family(24, 10, 3, n_sequences=5, rng=0)
+        assert fam.optimal_cover_size == 3
+        assert len(fam.sequences) == 5
+        for seq in fam.sequences:
+            assert fam.system.is_cover(fam.planted_cover, seq)
+
+    def test_sequences_touch_all_blocks(self):
+        fam = hard_instance_family(24, 10, 3, n_sequences=4, rng=1)
+        member = fam.system.membership
+        for seq in fam.sequences:
+            for b in fam.planted_cover:
+                assert any(member[b, e] for e in seq)
+
+    def test_online_pays_more_than_planted(self):
+        fam = hard_instance_family(40, 16, 4, n_sequences=6, rng=2)
+        sizes = [
+            len(OnlineRandomizedSetCover(fam.system, rng=i).run(seq))
+            for i, seq in enumerate(fam.sequences)
+        ]
+        assert np.mean(sizes) >= fam.optimal_cover_size

@@ -1,0 +1,143 @@
+"""Tests for stack distances and miss-ratio curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import LRUPolicy
+from repro.core.instance import WeightedPagingInstance
+from repro.core.requests import RequestSequence
+from repro.offline.belady import belady_cost
+from repro.sim import simulate
+from repro.sim.mrc import (
+    FenwickTree,
+    lru_miss_curve,
+    opt_miss_curve,
+    stack_distances,
+)
+from repro.workloads import zipf_stream
+
+
+class TestFenwickTree:
+    def test_point_add_prefix_sum(self):
+        t = FenwickTree(8)
+        t.add(0, 3)
+        t.add(4, 2)
+        assert t.prefix_sum(0) == 3
+        assert t.prefix_sum(3) == 3
+        assert t.prefix_sum(4) == 5
+        assert t.prefix_sum(7) == 5
+
+    def test_range_sum(self):
+        t = FenwickTree(6)
+        for i in range(6):
+            t.add(i, i)
+        assert t.range_sum(2, 4) == 2 + 3 + 4
+        assert t.range_sum(3, 2) == 0
+
+    def test_negative_updates(self):
+        t = FenwickTree(4)
+        t.add(1, 5)
+        t.add(1, -5)
+        assert t.prefix_sum(3) == 0
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(0)
+        vals = np.zeros(50, dtype=np.int64)
+        t = FenwickTree(50)
+        for _ in range(200):
+            i = int(rng.integers(0, 50))
+            v = int(rng.integers(-3, 4))
+            t.add(i, v)
+            vals[i] += v
+            j = int(rng.integers(0, 50))
+            assert t.prefix_sum(j) == vals[: j + 1].sum()
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+
+class TestStackDistances:
+    def test_textbook_example(self):
+        # a b c a: distance of the second 'a' is 2 (b, c in between).
+        dist = stack_distances(np.array([0, 1, 2, 0]))
+        assert dist[3] == 2
+        assert (dist[:3] > 10**17).all()  # cold misses
+
+    def test_immediate_rereference(self):
+        dist = stack_distances(np.array([5, 5, 5]))
+        assert dist[1] == 0 and dist[2] == 0
+
+    def test_duplicates_not_double_counted(self):
+        # a b b a: only one distinct page between the two a's.
+        dist = stack_distances(np.array([0, 1, 1, 0]))
+        assert dist[3] == 1
+
+    def test_empty(self):
+        assert stack_distances(np.array([], dtype=np.int64)).size == 0
+
+    def test_matches_naive_reference(self):
+        rng = np.random.default_rng(1)
+        pages = rng.integers(0, 12, size=300)
+        dist = stack_distances(pages)
+        last: dict[int, int] = {}
+        for t, p in enumerate(pages):
+            if p in last:
+                expected = len(set(pages[last[p] + 1 : t].tolist()) - {p})
+                assert dist[t] == expected
+            last[int(p)] = t
+
+
+class TestLRUMissCurve:
+    def test_matches_simulated_lru(self):
+        seq = zipf_stream(20, 1500, rng=2)
+        curve = lru_miss_curve(seq, max_k=8)
+        for k in [1, 3, 5, 8]:
+            inst = WeightedPagingInstance.uniform(20, k)
+            sim = simulate(inst, seq, LRUPolicy())
+            assert curve[k - 1] == sim.n_misses
+
+    def test_monotone_nonincreasing(self):
+        seq = zipf_stream(30, 2000, rng=3)
+        curve = lru_miss_curve(seq, max_k=16)
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            lru_miss_curve(zipf_stream(5, 10, rng=0), max_k=0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_simulation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        seq = RequestSequence.from_pages(rng.integers(0, n, size=150))
+        max_k = n - 1
+        curve = lru_miss_curve(seq, max_k=max_k)
+        k = int(rng.integers(1, max_k + 1))
+        inst = WeightedPagingInstance.uniform(n, k)
+        assert curve[k - 1] == simulate(inst, seq, LRUPolicy()).n_misses
+
+
+class TestOptMissCurve:
+    def test_matches_belady(self):
+        seq = zipf_stream(10, 400, rng=4)
+        curve = opt_miss_curve(seq, max_k=4)
+        for k in [1, 2, 4]:
+            inst = WeightedPagingInstance.uniform(10, k)
+            # belady_cost counts evictions = misses - final cache fill.
+            misses = belady_cost(inst, seq) + min(k, seq.distinct_pages())
+            assert curve[k - 1] == misses
+
+    def test_dominated_by_lru(self):
+        seq = zipf_stream(15, 800, rng=5)
+        lru = lru_miss_curve(seq, max_k=6)
+        opt = opt_miss_curve(seq, max_k=6)
+        assert np.all(opt <= lru)
+
+    def test_monotone(self):
+        seq = zipf_stream(15, 500, rng=6)
+        curve = opt_miss_curve(seq, max_k=8)
+        assert np.all(np.diff(curve) <= 0)

@@ -1,0 +1,118 @@
+"""Tests for the solution replayer."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import (
+    MultiLevelInstance,
+    WeightedPagingInstance,
+    WritebackInstance,
+)
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import CacheInvariantError
+from repro.offline import (
+    offline_opt_multilevel_trace,
+    offline_opt_writeback,
+)
+from repro.sim.replay import replay_solution, replay_writeback_solution
+from repro.workloads import multilevel_stream, random_multilevel_instance
+
+
+class TestReplaySolution:
+    def test_dp_trace_replays_to_opt(self):
+        inst = random_multilevel_instance(5, 2, 2, rng=0)
+        seq = multilevel_stream(5, 2, 40, rng=1)
+        value, trace = offline_opt_multilevel_trace(inst, seq)
+        assert replay_solution(inst, seq, trace) == pytest.approx(value)
+
+    def test_hand_built_solution(self):
+        inst = WeightedPagingInstance(2, [4.0, 2.0, 1.0])
+        seq = RequestSequence.from_pages([0, 1, 2])
+        trace = [{0: 1}, {0: 1, 1: 1}, {0: 1, 2: 1}]  # evict 1 (w=2)
+        assert replay_solution(inst, seq, trace) == pytest.approx(2.0)
+
+    def test_unserved_rejected(self):
+        inst = WeightedPagingInstance(2, [4.0, 2.0, 1.0])
+        seq = RequestSequence.from_pages([0])
+        with pytest.raises(CacheInvariantError, match="unserved"):
+            replay_solution(inst, seq, [{1: 1}])
+
+    def test_low_copy_does_not_serve(self):
+        inst = MultiLevelInstance(2, np.tile([4.0, 1.0], (3, 1)))
+        seq = RequestSequence.from_pairs([(0, 1)])
+        with pytest.raises(CacheInvariantError, match="unserved"):
+            replay_solution(inst, seq, [{0: 2}])
+
+    def test_overflow_rejected(self):
+        inst = WeightedPagingInstance(1, [1.0, 1.0, 1.0])
+        seq = RequestSequence.from_pages([0])
+        with pytest.raises(CacheInvariantError, match="capacity"):
+            replay_solution(inst, seq, [{0: 1, 1: 1}])
+
+    def test_length_mismatch_rejected(self):
+        inst = WeightedPagingInstance(2, [1.0, 1.0, 1.0])
+        seq = RequestSequence.from_pages([0, 1])
+        with pytest.raises(CacheInvariantError, match="length"):
+            replay_solution(inst, seq, [{0: 1}])
+
+    def test_level_change_charges_old_copy(self):
+        inst = MultiLevelInstance(2, np.tile([4.0, 1.0], (3, 1)))
+        seq = RequestSequence.from_pairs([(0, 2), (0, 1)])
+        trace = [{0: 2}, {0: 1}]
+        assert replay_solution(inst, seq, trace) == pytest.approx(1.0)
+
+
+class TestReplayWriteback:
+    def _inst(self):
+        return WritebackInstance(2, [10.0, 10.0, 10.0], [1.0, 1.0, 1.0])
+
+    def test_set_trace_with_derived_dirty(self):
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False), (2, False)])
+        trace = [{0}, {0, 1}, {1, 2}]  # page 0 (dirty) leaves at t=2
+        cost = replay_writeback_solution(self._inst(), seq, trace)
+        assert cost == pytest.approx(10.0)
+
+    def test_dict_trace_checks_claimed_bits(self):
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False)])
+        good = [{0: True}, {0: True, 1: False}]
+        assert replay_writeback_solution(self._inst(), seq, good) == 0.0
+        bad = [{0: False}, {0: True, 1: False}]
+        with pytest.raises(CacheInvariantError, match="claimed"):
+            replay_writeback_solution(self._inst(), seq, bad)
+
+    def test_refetch_resets_dirtiness(self):
+        seq = WBRequestSequence.from_pairs(
+            [(0, True), (1, False), (2, False), (0, False), (1, False)]
+        )
+        # 0 written, evicted dirty (10); refetched clean; evicted clean (1).
+        trace = [{0}, {0, 1}, {1, 2}, {0, 2}, {1, 0}]
+        cost = replay_writeback_solution(self._inst(), seq, trace)
+        assert cost == pytest.approx(10.0 + 1.0 + 1.0)
+
+    def test_matches_writeback_dp_value(self):
+        rng = np.random.default_rng(5)
+        inst = self._inst()
+        seq = WBRequestSequence(rng.integers(0, 3, size=25), rng.random(25) < 0.4)
+        opt = offline_opt_writeback(inst, seq)
+        # A greedy trace (always keep the two most recent pages) must not
+        # beat OPT.
+        trace = []
+        cached: list[int] = []
+        for req in seq:
+            if req.page in cached:
+                cached.remove(req.page)
+            cached.append(req.page)
+            cached = cached[-2:]
+            trace.append(set(cached))
+        cost = replay_writeback_solution(inst, seq, trace)
+        assert cost >= opt - 1e-9
+
+    def test_unserved_rejected(self):
+        seq = WBRequestSequence.from_pairs([(0, False)])
+        with pytest.raises(CacheInvariantError, match="unserved"):
+            replay_writeback_solution(self._inst(), seq, [{1}])
+
+    def test_overflow_rejected(self):
+        seq = WBRequestSequence.from_pairs([(0, False)])
+        with pytest.raises(CacheInvariantError, match="capacity"):
+            replay_writeback_solution(self._inst(), seq, [{0, 1, 2}])

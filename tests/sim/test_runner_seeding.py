@@ -1,0 +1,104 @@
+"""Tests for the sweep runner and seed spawning."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LRUPolicy, RandomizedMultiLevelPolicy, WBLRUPolicy
+from repro.core.instance import WeightedPagingInstance, WritebackInstance
+from repro.sim import RunSpec, run_spec, run_sweep, spawn_generators, spawn_seeds
+from repro.workloads import readwrite_stream, zipf_stream
+
+
+def make_spec(policy=LRUPolicy, n_seeds=2, master_seed=0, **params):
+    inst = WeightedPagingInstance.uniform(10, 3)
+    seq = zipf_stream(10, 200, rng=0)
+    return RunSpec(inst, seq, policy, n_seeds=n_seeds,
+                   master_seed=master_seed, params=params)
+
+
+class TestSeeding:
+    def test_spawn_reproducible(self):
+        a = [np.random.default_rng(s).random() for s in spawn_seeds(1, 3)]
+        b = [np.random.default_rng(s).random() for s in spawn_seeds(1, 3)]
+        assert a == b
+
+    def test_children_differ(self):
+        vals = [g.random() for g in spawn_generators(1, 5)]
+        assert len(set(vals)) == 5
+
+    def test_prefix_stability(self):
+        # Growing a sweep must not change earlier runs' seeds.
+        short = spawn_seeds(42, 2)
+        long = spawn_seeds(42, 5)
+        assert [s.entropy for s in short] == [s.entropy for s in long[:2]]
+        assert [s.spawn_key for s in short] == [s.spawn_key for s in long[:2]]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestRunSpec:
+    def test_bad_seed_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec(n_seeds=0)
+
+    def test_run_spec_produces_all_seeds(self):
+        res = run_spec(make_spec(n_seeds=3))
+        assert len(res.runs) == 3
+        assert res.spec_label == "lru"
+
+    def test_label_defaults_to_policy_name(self):
+        res = run_spec(make_spec())
+        assert res.spec_label == "lru"
+
+    def test_params_carried_through(self):
+        res = run_spec(make_spec(k=3, alpha=0.8))
+        assert res.params == {"k": 3, "alpha": 0.8}
+
+    def test_deterministic_policy_same_across_seeds(self):
+        res = run_spec(make_spec(n_seeds=3))
+        costs = {r.cost for r in res.runs}
+        assert len(costs) == 1
+
+    def test_randomized_policy_varies_across_seeds(self):
+        inst = WeightedPagingInstance.uniform(10, 3)
+        seq = zipf_stream(10, 300, rng=0)
+        spec = RunSpec(inst, seq, RandomizedMultiLevelPolicy, n_seeds=4)
+        res = run_spec(spec)
+        assert len({r.cost for r in res.runs}) > 1
+
+    def test_writeback_spec_dispatch(self):
+        inst = WritebackInstance.uniform(8, 3, 4.0)
+        seq = readwrite_stream(8, 100, rng=0)
+        res = run_spec(RunSpec(inst, seq, WBLRUPolicy))
+        assert res.runs[0].policy == "wb-lru"
+
+
+class TestRunSweep:
+    def test_sequential_order_preserved(self):
+        specs = [make_spec(master_seed=i, idx=i) for i in range(3)]
+        results = run_sweep(specs)
+        assert [r.params["idx"] for r in results] == [0, 1, 2]
+
+    def test_parallel_matches_sequential(self):
+        specs = [
+            RunSpec(
+                WeightedPagingInstance.uniform(10, 3),
+                zipf_stream(10, 200, rng=0),
+                RandomizedMultiLevelPolicy,
+                n_seeds=2,
+                master_seed=s,
+            )
+            for s in range(3)
+        ]
+        seq_results = run_sweep(specs, parallel=False)
+        par_results = run_sweep(specs, parallel=True, max_workers=2)
+        for a, b in zip(seq_results, par_results):
+            assert [r.cost for r in a.runs] == [r.cost for r in b.runs]
+
+    def test_aggregate_accessor(self):
+        res = run_spec(make_spec(n_seeds=2))
+        agg = res.aggregate
+        assert agg.n_runs == 2
+        assert agg.policy == "lru"

@@ -1,0 +1,127 @@
+"""Tests for the verifying simulator and run metrics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LRUPolicy, WBLRUPolicy
+from repro.algorithms.base import Policy, WritebackPolicy
+from repro.core.instance import WeightedPagingInstance, WritebackInstance
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import CacheInvariantError, InvalidRequestError
+from repro.sim import aggregate_runs, simulate, simulate_writeback
+
+
+class _CheatingPolicy(Policy):
+    """Never serves anything — the simulator must catch it."""
+
+    name = "cheater"
+
+    def serve(self, t, page, level):
+        pass
+
+
+class _CheatingWBPolicy(WritebackPolicy):
+    name = "wb-cheater"
+
+    def serve(self, t, page, is_write):
+        pass
+
+
+class TestSimulate:
+    def test_counts_hits_and_misses(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        seq = RequestSequence.from_pages([0, 0, 1, 0])
+        r = simulate(inst, seq, LRUPolicy())
+        assert (r.n_hits, r.n_misses) == (2, 2)
+        assert r.hit_rate == pytest.approx(0.5)
+        assert r.miss_rate == pytest.approx(0.5)
+
+    def test_unserved_request_detected(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        seq = RequestSequence.from_pages([0])
+        with pytest.raises(CacheInvariantError, match="unserved"):
+            simulate(inst, seq, _CheatingPolicy())
+
+    def test_validation_can_be_disabled(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        seq = RequestSequence.from_pages([0])
+        r = simulate(inst, seq, _CheatingPolicy(), validate=False)
+        assert r.cost == 0.0
+
+    def test_out_of_range_sequence_rejected(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        seq = RequestSequence.from_pages([7])
+        with pytest.raises(InvalidRequestError):
+            simulate(inst, seq, LRUPolicy())
+
+    def test_event_times_recorded(self):
+        inst = WeightedPagingInstance.uniform(3, 1)
+        seq = RequestSequence.from_pages([0, 1, 2])
+        r = simulate(inst, seq, LRUPolicy(), record_events=True)
+        assert [e.time for e in r.events] == [1, 2]
+
+    def test_final_cache_returned(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        seq = RequestSequence.from_pages([0, 1])
+        r = simulate(inst, seq, LRUPolicy())
+        assert r.final_cache == {0: 1, 1: 1}
+
+    def test_empty_sequence(self):
+        inst = WeightedPagingInstance.uniform(4, 2)
+        r = simulate(inst, RequestSequence.from_pages([]), LRUPolicy())
+        assert r.cost == 0.0
+        assert r.hit_rate == 0.0
+
+
+class TestSimulateWriteback:
+    def test_write_marks_dirty(self):
+        inst = WritebackInstance.uniform(4, 2, dirty_cost=5.0)
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False), (2, False), (3, False)])
+        r = simulate_writeback(inst, seq, WBLRUPolicy(), record_events=True)
+        # Page 0, evicted dirty, is charged 5.
+        ev0 = [e for e in r.events if e.page == 0]
+        assert ev0 and ev0[0].cost == 5.0
+
+    def test_unserved_detected(self):
+        inst = WritebackInstance.uniform(4, 2, 3.0)
+        seq = WBRequestSequence.from_pairs([(0, False)])
+        with pytest.raises(CacheInvariantError, match="unserved"):
+            simulate_writeback(inst, seq, _CheatingWBPolicy())
+
+    def test_final_cache_encodes_dirty_as_level_one(self):
+        inst = WritebackInstance.uniform(4, 2, 3.0)
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False)])
+        r = simulate_writeback(inst, seq, WBLRUPolicy())
+        assert r.final_cache == {0: 1, 1: 2}
+
+
+class TestAggregateRuns:
+    def _mk(self, cost, policy="p"):
+        from repro.sim.metrics import RunResult
+
+        return RunResult(
+            policy=policy, cost=cost, n_requests=10, n_hits=5, n_misses=5,
+            n_evictions=3, n_fetches=5,
+        )
+
+    def test_statistics(self):
+        agg = aggregate_runs([self._mk(10.0), self._mk(20.0), self._mk(30.0)])
+        assert agg.mean_cost == pytest.approx(20.0)
+        assert agg.min_cost == 10.0
+        assert agg.max_cost == 30.0
+        assert agg.n_runs == 3
+        assert agg.std_cost == pytest.approx(10.0)
+        assert agg.stderr_cost == pytest.approx(10.0 / np.sqrt(3))
+
+    def test_single_run_no_std(self):
+        agg = aggregate_runs([self._mk(5.0)])
+        assert agg.std_cost == 0.0
+        assert agg.stderr_cost == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+    def test_mixed_policies_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([self._mk(1.0, "a"), self._mk(2.0, "b")])

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPoliciesCommand:
+    def test_lists_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ["lru", "landlord", "waterfilling", "randomized-multilevel"]:
+            assert name in out
+
+
+class TestRunCommand:
+    def test_basic_run(self, capsys):
+        rc = main([
+            "run", "--policies", "lru,landlord", "--n-pages", "10",
+            "--cache-size", "3", "--requests", "200",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "landlord" in out
+
+    def test_with_opt_bound(self, capsys):
+        rc = main([
+            "run", "--policies", "lru", "--n-pages", "6", "--cache-size", "2",
+            "--requests", "80", "--opt",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offline OPT bound" in out
+        assert "ratio vs OPT" in out
+
+    def test_multilevel_workload(self, capsys):
+        rc = main([
+            "run", "--policies", "waterfilling", "--workload", "multilevel",
+            "--levels", "3", "--n-pages", "12", "--cache-size", "3",
+            "--requests", "150",
+        ])
+        assert rc == 0
+        assert "waterfilling" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("workload", ["uniform", "scan", "working-set"])
+    def test_other_workloads(self, workload, capsys):
+        rc = main([
+            "run", "--policies", "lru", "--workload", workload,
+            "--n-pages", "10", "--cache-size", "3", "--requests", "100",
+        ])
+        assert rc == 0
+
+    def test_csv_output(self, capsys):
+        rc = main([
+            "run", "--policies", "lru", "--n-pages", "8", "--cache-size", "2",
+            "--requests", "50", "--csv",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy,mean cost" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        rc = main(["run", "--policies", "nonsense"])
+        assert rc == 2
+        assert "unknown policies" in capsys.readouterr().err
+
+    def test_multiple_seeds(self, capsys):
+        rc = main([
+            "run", "--policies", "randomized-weighted", "--n-pages", "8",
+            "--cache-size", "2", "--requests", "100", "--seeds", "3",
+        ])
+        assert rc == 0
+
+
+class TestVerifyCommand:
+    def test_drift_inequalities_hold(self, capsys):
+        rc = main([
+            "verify", "--n-pages", "5", "--cache-size", "2", "--levels", "2",
+            "--requests", "40",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("HOLDS") == 2
+
+
+class TestMRCCommand:
+    def test_zipf_curve(self, capsys):
+        rc = main(["mrc", "--n-pages", "16", "--requests", "500",
+                   "--max-k", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "miss-ratio curves" in out
+        assert "LRU/MIN" in out
+
+    def test_loop_with_chart(self, capsys):
+        rc = main(["mrc", "--workload", "loop", "--n-pages", "16",
+                   "--requests", "500", "--max-k", "4", "--chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "o LRU" in out and "x MIN" in out
+
+
+class TestLowerBoundCommand:
+    def test_runs_phases(self, capsys):
+        rc = main(["lower-bound", "--elements", "12", "--sets", "5",
+                   "--cover-size", "2", "--phases", "2",
+                   "--repetitions", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.6" in out
+        assert "total paging cost" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        rc = main(["lower-bound", "--policy", "nope"])
+        assert rc == 2
+
+
+class TestReportCommand:
+    def test_consolidates_when_artifacts_exist(self, capsys):
+        import pathlib
+
+        results = pathlib.Path("benchmarks/results")
+        if not results.is_dir() or not list(results.glob("*.txt")):
+            import pytest
+
+            pytest.skip("no artifacts")
+        rc = main(["report"])
+        assert rc == 0
+        assert "# Benchmark results" in capsys.readouterr().out
+
+    def test_missing_dir_fails(self, capsys):
+        rc = main(["report", "--results-dir", "/nonexistent/dir"])
+        assert rc == 2

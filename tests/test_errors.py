@@ -1,0 +1,38 @@
+"""Tests for the error hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.InvalidInstanceError,
+            errors.InvalidRequestError,
+            errors.CacheOverflowError,
+            errors.CacheInvariantError,
+            errors.InfeasibleError,
+            errors.SolverError,
+            errors.TraceFormatError,
+            errors.StateSpaceTooLargeError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_errors_catchable_as_valueerror(self):
+        # Validation errors double as ValueError for ergonomic catching.
+        for exc in (errors.InvalidInstanceError, errors.InvalidRequestError,
+                    errors.TraceFormatError, errors.StateSpaceTooLargeError):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_errors_catchable_as_runtimeerror(self):
+        for exc in (errors.CacheOverflowError, errors.CacheInvariantError,
+                    errors.InfeasibleError, errors.SolverError):
+            assert issubclass(exc, RuntimeError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CacheOverflowError("x")

@@ -1,0 +1,40 @@
+"""Regression checks for the example scripts.
+
+Full runs are exercised manually / in benches; here we guard against
+import breakage and API drift: every example must import cleanly and
+expose a ``main`` callable.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "writeback_buffer_pool",
+        "optane_tiered_cache",
+        "lower_bound_demo",
+        "certified_paging",
+        "competitive_ratio_study",
+        "miss_ratio_curves",
+    } <= names

@@ -1,0 +1,64 @@
+"""Tests for shared workload utilities."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import as_generator, sample_weights, zipf_probabilities
+
+
+class TestAsGenerator:
+    def test_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_fresh_entropy(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        probs = zipf_probabilities(100, 0.8)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50, 1.2)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_alpha_zero_is_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(5, -0.1)
+
+
+class TestSampleWeights:
+    @pytest.mark.parametrize("dist", ["loguniform", "uniform", "two_point"])
+    def test_within_bounds_and_valid(self, dist):
+        w = sample_weights(200, rng=1, low=1.0, high=32.0, distribution=dist)
+        assert w.shape == (200,)
+        assert np.all(w >= 1.0)
+        assert np.all(w <= 32.0)
+
+    def test_two_point_has_two_values(self):
+        w = sample_weights(100, rng=2, low=1.0, high=16.0, distribution="two_point")
+        assert set(np.unique(w)) == {1.0, 16.0}
+
+    def test_reproducible(self):
+        assert np.array_equal(sample_weights(10, rng=7), sample_weights(10, rng=7))
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            sample_weights(5, low=0.5)
+        with pytest.raises(ValueError):
+            sample_weights(5, low=4.0, high=2.0)
+        with pytest.raises(ValueError):
+            sample_weights(5, distribution="nope")

@@ -1,0 +1,70 @@
+"""Tests for workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.workloads import readwrite_stream, scan_stream, zipf_stream
+from repro.workloads.stats import profile_sequence, profile_wb_sequence
+
+
+class TestProfileSequence:
+    def test_footprint_and_counts(self):
+        seq = RequestSequence.from_pages([0, 1, 0, 2, 0])
+        prof = profile_sequence(seq)
+        assert prof.n_requests == 5
+        assert prof.footprint == 3
+        assert prof.top1_share == pytest.approx(3 / 5)
+
+    def test_reuse_distances(self):
+        # 0 1 0: the re-reference of 0 has stack distance 1.
+        seq = RequestSequence.from_pages([0, 1, 0])
+        prof = profile_sequence(seq)
+        assert prof.median_reuse_distance == pytest.approx(1.0)
+        assert prof.cold_fraction == pytest.approx(2 / 3)
+
+    def test_scan_has_no_reuse(self):
+        seq = scan_stream(100, 50)  # touches 50 distinct pages once each
+        prof = profile_sequence(seq)
+        assert np.isnan(prof.median_reuse_distance)
+        assert prof.cold_fraction == 1.0
+
+    def test_zipf_skew_detected(self):
+        flat = profile_sequence(zipf_stream(100, 5000, alpha=0.1, rng=0))
+        skew = profile_sequence(zipf_stream(100, 5000, alpha=1.5, rng=0))
+        assert skew.top10_share > flat.top10_share
+
+    def test_level_mix(self):
+        seq = RequestSequence.from_pairs([(0, 1), (1, 2), (2, 2), (3, 2)])
+        prof = profile_sequence(seq)
+        assert prof.level_mix == {1: 0.25, 2: 0.75}
+
+    def test_empty_sequence(self):
+        prof = profile_sequence(RequestSequence.from_pages([]))
+        assert prof.n_requests == 0
+        assert prof.footprint == 0
+        assert prof.level_mix == {}
+
+    def test_describe_is_one_line(self):
+        prof = profile_sequence(zipf_stream(20, 200, rng=1))
+        text = prof.describe()
+        assert "\n" not in text
+        assert "200 requests" in text
+
+
+class TestProfileWB:
+    def test_write_fraction(self):
+        seq = readwrite_stream(20, 1000, write_fraction=0.3, rng=2)
+        prof = profile_wb_sequence(seq)
+        assert prof.write_fraction == pytest.approx(0.3, abs=0.05)
+
+    def test_footprint(self):
+        seq = WBRequestSequence.from_pairs([(0, True), (1, False), (0, False)])
+        prof = profile_wb_sequence(seq)
+        assert prof.footprint == 2
+        assert prof.n_requests == 3
+
+    def test_empty(self):
+        prof = profile_wb_sequence(WBRequestSequence.from_pairs([]))
+        assert prof.n_requests == 0
+        assert prof.write_fraction == 0.0

@@ -1,0 +1,63 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import TraceFormatError
+from repro.workloads.traces import dumps_trace, load_trace, loads_trace, save_trace
+
+
+class TestRoundTrips:
+    def test_ml_round_trip(self):
+        seq = RequestSequence.from_pairs([(0, 1), (5, 3), (2, 2)])
+        assert loads_trace(dumps_trace(seq)) == seq
+
+    def test_wb_round_trip(self):
+        seq = WBRequestSequence.from_pairs([(0, True), (3, False)])
+        assert loads_trace(dumps_trace(seq)) == seq
+
+    def test_file_round_trip(self, tmp_path):
+        seq = RequestSequence.from_pairs([(1, 2), (0, 1)])
+        path = tmp_path / "trace.txt"
+        save_trace(path, seq)
+        assert load_trace(path) == seq
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\nml 0 1\n  # inline comment line\nml 1 2\n"
+        seq = loads_trace(text)
+        assert isinstance(seq, RequestSequence)
+        assert len(seq) == 2
+
+
+class TestErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("# only comments\n")
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("ml 0 1\nwb 1 r\n")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("ml 0\n")
+
+    def test_bad_page_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("ml zero 1\n")
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("ml 0 one\n")
+
+    def test_bad_rw_flag_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("wb 0 x\n")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("zz 0 1\n")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            dumps_trace([1, 2, 3])  # type: ignore[arg-type]
