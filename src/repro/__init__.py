@@ -11,7 +11,9 @@ and weighted multi-level paging.  This package implements:
 * the Lemma 2.1 writeback <-> RW-paging reduction,
 * the Section 3 set-cover lower-bound construction,
 * offline optima (exact DP and LP relaxation), classical baselines,
-  workload generators, a verifying simulator and an experiment harness.
+  workload generators, a verifying simulator and an experiment harness,
+* a sharded, stream-oriented serving layer (:mod:`repro.service`) with
+  batched ingest, backpressure, live metrics and a load generator.
 
 Quick start::
 
@@ -41,9 +43,28 @@ from repro.core import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The serving layer is exported lazily: it pulls in the policy registry and
+# threading machinery, which plain offline users never need at import time.
+_SERVICE_EXPORTS = frozenset(
+    {"PagingService", "ServiceConfig", "LoadReport", "run_load"}
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        import repro.service as _service
+
+        return getattr(_service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "PagingService",
+    "ServiceConfig",
+    "LoadReport",
+    "run_load",
     "CostLedger",
     "MultiLevelCache",
     "MultiLevelInstance",

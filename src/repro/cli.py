@@ -9,6 +9,10 @@ Commands
 ``verify``   run the potential-function verifiers on a small instance —
              machine-checks the paper's Theorem 4.1 / Section 4.2 drift
              inequalities on a live run.
+``serve``    run a workload through the sharded paging service
+             (:mod:`repro.service`) and print live metric snapshots.
+``loadgen``  replay a workload against the service at a target request
+             rate and report achieved throughput + tail latency.
 
 Examples
 --------
@@ -20,6 +24,8 @@ Examples
     python -m repro run --policies randomized-multilevel --levels 3 \
         --n-pages 24 --cache-size 6 --workload multilevel --seeds 5
     python -m repro verify --n-pages 5 --cache-size 2 --levels 2
+    python -m repro serve --policy waterfilling --k 64 --shards 4
+    python -m repro loadgen --rate 100000 --shards 4
 """
 
 from __future__ import annotations
@@ -122,7 +128,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="consolidate benchmark artifacts into markdown"
     )
     report.add_argument("--results-dir", default="benchmarks/results")
+
+    serve = sub.add_parser(
+        "serve", help="run a workload through the sharded paging service"
+    )
+    _add_service_args(serve)
+    serve.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                       help="print a metrics snapshot every N batches")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="rate-paced load generation against the service"
+    )
+    _add_service_args(loadgen)
+    loadgen.add_argument("--rate", type=float, default=100_000.0,
+                         help="target request rate (req/s)")
+    loadgen.add_argument("--max-retries", type=int, default=3,
+                         help="retries before an overloaded batch is dropped")
     return parser
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``serve`` and ``loadgen`` (workload + service shape)."""
+    parser.add_argument("--policy", default="waterfilling",
+                        help="registered policy name (see `policies`)")
+    parser.add_argument("--k", "--cache-size", dest="cache_size", type=int,
+                        default=64, help="total cache capacity, split across shards")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--n-pages", type=int, default=512)
+    parser.add_argument("--levels", type=int, default=1)
+    parser.add_argument("--requests", type=int, default=100_000)
+    parser.add_argument("--workload", choices=_WORKLOADS, default="zipf")
+    parser.add_argument("--alpha", type=float, default=0.9,
+                        help="Zipf skew (zipf/multilevel workloads)")
+    parser.add_argument("--weight-high", type=float, default=32.0,
+                        help="max page weight (log-uniform in [1, high])")
+    parser.add_argument("--seed", dest="master_seed", type=int, default=0)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="max pending batches per shard before Overloaded")
+    parser.add_argument("--validate", action="store_true",
+                        help="verify cache invariants after every request")
 
 
 def _make_workload(args) -> tuple[MultiLevelInstance, object]:
@@ -280,6 +325,74 @@ def _cmd_lower_bound(args) -> int:
     return 0
 
 
+def _make_service(args):
+    """Build (service, sequence) from the shared serve/loadgen flags."""
+    from repro.errors import ServiceConfigError
+    from repro.service import PagingService, ServiceConfig
+
+    inst, seq = _make_workload(args)
+    try:
+        config = ServiceConfig.from_policy_name(
+            args.policy, inst,
+            n_shards=args.shards,
+            batch_size=args.batch_size,
+            queue_depth=args.queue_depth,
+            seed=args.master_seed,
+            validate=args.validate,
+        )
+    except ServiceConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return None, None
+    return PagingService(config), seq
+
+
+def _cmd_serve(args) -> int:
+    from time import perf_counter
+
+    service, seq = _make_service(args)
+    if service is None:
+        return 2
+    b = args.batch_size
+    print(f"serving {len(seq)} requests through {service!r}\n")
+    started = perf_counter()
+    with service:
+        for i, lo in enumerate(range(0, len(seq), b)):
+            result = service.submit_batch(seq.pages[lo:lo + b],
+                                          seq.levels[lo:lo + b])
+            while not result.accepted:
+                service.drain(0.01)
+                result = service.submit_batch(seq.pages[lo:lo + b],
+                                              seq.levels[lo:lo + b])
+            if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
+                print(service.snapshot().render())
+        service.drain()
+        elapsed = perf_counter() - started
+        snap = service.snapshot()
+    print(snap.render())
+    rate = snap.n_requests / elapsed if elapsed > 0 else 0.0
+    print(f"served {snap.n_requests} requests in {elapsed:.3f}s "
+          f"({rate:,.0f} req/s), total eviction cost {snap.eviction_cost:.1f}")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.service import run_load
+
+    service, seq = _make_service(args)
+    if service is None:
+        return 2
+    print(f"load: {len(seq)} requests at {args.rate:,.0f} req/s "
+          f"against {service!r}\n")
+    with service:
+        report = run_load(service, seq, rate=args.rate,
+                          batch_size=args.batch_size,
+                          max_retries=args.max_retries)
+        snap = service.snapshot()
+    print(report.render())
+    print(snap.render())
+    return 0 if report.n_served else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -291,6 +404,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_mrc(args)
     if args.command == "lower-bound":
         return _cmd_lower_bound(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "report":
         from repro.analysis.report import consolidate_results
 

@@ -50,6 +50,29 @@ class TraceFormatError(ReproError, ValueError):
     """A serialized trace file could not be parsed."""
 
 
+class ServiceConfigError(ReproError, ValueError):
+    """A :mod:`repro.service` configuration is inconsistent.
+
+    Examples: more shards than cache slots, a shard capacity reaching the
+    page universe size, or a non-positive batch size / queue depth.
+    """
+
+
+class ServiceStateError(ReproError, RuntimeError):
+    """A :mod:`repro.service` operation was attempted in the wrong state.
+
+    Examples: submitting to a stopped service or starting it twice.
+    """
+
+
+class SweepWorkerError(ReproError, RuntimeError):
+    """A sweep spec failed inside :func:`repro.sim.runner.run_sweep`.
+
+    The message carries the failing spec's label so parallel failures are
+    attributable without decoding a pickled worker traceback.
+    """
+
+
 class StateSpaceTooLargeError(ReproError, ValueError):
     """An exact offline computation was requested on too large an instance.
 

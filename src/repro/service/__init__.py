@@ -1,0 +1,61 @@
+"""repro.service — a sharded online paging service over the paper's policies.
+
+The offline harness materializes a whole trace and hands it to
+:func:`repro.sim.simulate`; this package wraps the same verified substrate
+(:class:`~repro.core.cache.MultiLevelCache` + a :class:`~repro.algorithms.base.Policy`)
+behind a long-lived, stream-oriented server:
+
+* :class:`ShardRouter` hash-partitions the page universe across ``N``
+  independent shard engines (deterministic splitmix64 routing, so the same
+  trace always produces the same per-shard cost ledgers),
+* :class:`ShardEngine` owns one verifying cache + policy per shard and
+  consumes request micro-batches,
+* :class:`PagingService` ties them together with bounded per-shard queues —
+  overload surfaces as an explicit :class:`Overloaded` response instead of
+  unbounded memory growth,
+* :class:`~repro.service.metrics.ServiceSnapshot` exposes monotonic counters
+  (hits, misses, eviction cost per level) and batch-latency percentiles,
+* :func:`run_load` replays any :mod:`repro.workloads` stream at a target
+  request rate and reports achieved throughput + tail latency.
+
+Quick start::
+
+    from repro.service import PagingService, ServiceConfig, run_load
+
+    config = ServiceConfig.from_policy_name(
+        "waterfilling", instance, n_shards=4, seed=0
+    )
+    with PagingService(config) as svc:
+        report = run_load(svc, seq, rate=100_000)
+    print(report.render())
+    print(svc.snapshot().render())
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.engine import ShardEngine
+from repro.service.ingest import BatchTicket, MicroBatcher, Overloaded
+from repro.service.loadgen import LoadReport, run_load
+from repro.service.metrics import (
+    LatencyHistogram,
+    ServiceLedger,
+    ServiceSnapshot,
+    ShardSnapshot,
+)
+from repro.service.router import ShardRouter
+from repro.service.server import PagingService
+
+__all__ = [
+    "ServiceConfig",
+    "ShardEngine",
+    "BatchTicket",
+    "MicroBatcher",
+    "Overloaded",
+    "LoadReport",
+    "run_load",
+    "LatencyHistogram",
+    "ServiceLedger",
+    "ServiceSnapshot",
+    "ShardSnapshot",
+    "ShardRouter",
+    "PagingService",
+]

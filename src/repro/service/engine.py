@@ -1,0 +1,132 @@
+"""One shard of the paging service: a verifying cache + policy + metrics.
+
+A :class:`ShardEngine` is the serving twin of :func:`repro.sim.simulate`:
+the same authoritative :class:`~repro.core.cache.MultiLevelCache`, the same
+``policy.serve`` contract, the same optional per-request verification — but
+driven by an unbounded *stream* of micro-batches instead of one materialized
+trace, with a monotonic per-shard logical clock and batch service times fed
+into a :class:`~repro.service.metrics.LatencyHistogram`.
+
+Engines are single-consumer: exactly one thread (or the caller, in inline
+mode) may call :meth:`process_batch`.  That keeps per-shard request order —
+and therefore cost ledgers — deterministic without any locking in the hot
+loop.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.algorithms.base import Policy
+from repro.core.cache import MultiLevelCache
+from repro.core.instance import MultiLevelInstance
+from repro.errors import CacheInvariantError
+from repro.service.metrics import LatencyHistogram, ServiceLedger, ShardSnapshot
+
+__all__ = ["ShardEngine"]
+
+
+class ShardEngine:
+    """Long-lived policy + cache pair consuming request micro-batches."""
+
+    __slots__ = (
+        "shard_id", "instance", "policy", "ledger", "cache", "latency",
+        "validate", "n_batches", "_t",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        instance: MultiLevelInstance,
+        policy: Policy,
+        rng: np.random.Generator,
+        *,
+        validate: bool = False,
+        latency_window: int = 4096,
+    ) -> None:
+        self.shard_id = shard_id
+        self.instance = instance
+        self.policy = policy
+        self.ledger = ServiceLedger()
+        self.cache = MultiLevelCache(instance, self.ledger)
+        self.latency = LatencyHistogram(latency_window)
+        self.validate = validate
+        self.n_batches = 0
+        self._t = 0
+        policy.bind(instance, self.cache, rng)
+
+    @property
+    def n_requests(self) -> int:
+        """Requests processed so far (the shard's logical clock)."""
+        return self._t
+
+    def process_batch(self, pages: np.ndarray, levels: np.ndarray) -> None:
+        """Serve one micro-batch; every page must be routed to this shard.
+
+        Timing covers the whole batch (the latency the load generator's
+        clients would observe for a synchronous round-trip).
+        """
+        started = perf_counter()
+        cache = self.cache
+        ledger = self.ledger
+        serves = cache.serves
+        serve = self.policy.serve
+        t = self._t
+        hits = 0
+        if self.validate:
+            set_time = ledger.set_time
+            check = cache.check_invariants
+            name = self.policy.name
+            for page, level in zip(pages.tolist(), levels.tolist()):
+                set_time(t)
+                if serves(page, level):
+                    hits += 1
+                serve(t, page, level)
+                if not serves(page, level):
+                    raise CacheInvariantError(
+                        f"policy {name!r} left request t={t} (page={page}, "
+                        f"level={level}) unserved on shard {self.shard_id}"
+                    )
+                check()
+                t += 1
+        else:
+            for page, level in zip(pages.tolist(), levels.tolist()):
+                if serves(page, level):
+                    hits += 1
+                serve(t, page, level)
+                t += 1
+        n = t - self._t
+        self._t = t
+        ledger.n_hits += hits
+        ledger.n_misses += n - hits
+        self.n_batches += 1
+        self.latency.observe(perf_counter() - started)
+
+    def snapshot(self, *, queue_depth: int = 0) -> ShardSnapshot:
+        """Point-in-time counters (queue depth is supplied by the server)."""
+        ledger = self.ledger
+        p50, p95, p99 = self.latency.percentiles_ms()
+        return ShardSnapshot(
+            shard=self.shard_id,
+            cache_size=self.instance.cache_size,
+            n_requests=self._t,
+            n_hits=ledger.n_hits,
+            n_misses=ledger.n_misses,
+            n_evictions=ledger.n_evictions,
+            eviction_cost=ledger.eviction_cost,
+            cost_by_level=dict(ledger.cost_by_level),
+            evictions_by_level=dict(ledger.evictions_by_level),
+            n_batches=self.n_batches,
+            queue_depth=queue_depth,
+            p50_ms=p50,
+            p95_ms=p95,
+            p99_ms=p99,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardEngine(shard={self.shard_id}, k={self.instance.cache_size}, "
+            f"served={self._t}, cost={self.ledger.eviction_cost:.3f})"
+        )

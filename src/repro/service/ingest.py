@@ -1,0 +1,159 @@
+"""Batched ingest primitives: tickets, overload responses, micro-batching.
+
+The service accepts work in micro-batches.  A successful submission returns
+a :class:`BatchTicket` — a countdown latch completed once every shard has
+processed its slice, carrying the end-to-end batch latency.  A submission
+the bounded queues cannot absorb returns :class:`Overloaded` *immediately*:
+backpressure is an explicit response the client handles (retry, shed,
+slow down), never unbounded buffering inside the service.
+
+:class:`MicroBatcher` adapts a per-request producer to this batch API:
+requests accumulate until ``batch_size`` is reached or the oldest buffered
+request has waited ``flush_interval`` seconds, then the buffer is flushed
+as one batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+from time import monotonic, perf_counter
+
+import numpy as np
+
+__all__ = ["Overloaded", "BatchTicket", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Rejection response: shard ``shard``'s queue was at ``queue_depth``."""
+
+    shard: int
+    queue_depth: int
+
+    @property
+    def accepted(self) -> bool:
+        """Always False — lets clients branch on a common field."""
+        return False
+
+
+class BatchTicket:
+    """Completion handle for one accepted batch (a countdown latch).
+
+    The batch is split across up to ``n_parts`` shard queues; each shard
+    engine calls :meth:`part_done` after serving its slice.  ``wait`` blocks
+    until the whole batch is served; :attr:`latency` is then the end-to-end
+    submit-to-served time in seconds.
+    """
+
+    __slots__ = ("n_requests", "submitted_at", "completed_at", "_remaining",
+                 "_lock", "_event")
+
+    def __init__(self, n_parts: int, n_requests: int) -> None:
+        self.n_requests = n_requests
+        self.submitted_at = perf_counter()
+        self.completed_at: float | None = None
+        self._remaining = n_parts
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        if n_parts == 0:
+            self.completed_at = self.submitted_at
+            self._event.set()
+
+    @property
+    def accepted(self) -> bool:
+        """Always True — mirror of :attr:`Overloaded.accepted`."""
+        return True
+
+    def part_done(self) -> None:
+        """Signal that one shard finished its slice of the batch."""
+        with self._lock:
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self.completed_at = perf_counter()
+            self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the batch is fully served; False on timeout."""
+        return self._event.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        """True once every shard slice has been served."""
+        return self._event.is_set()
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-served seconds, or None while still in flight."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class MicroBatcher:
+    """Accumulate single requests into batches for a submit callable.
+
+    Parameters
+    ----------
+    batch_size:
+        Flush as soon as this many requests are buffered.
+    flush_interval:
+        Flush a non-empty buffer once its oldest request has waited this
+        many seconds, even if the batch is short.
+    submit:
+        Called with ``(pages, levels)`` int64 arrays; its return value is
+        handed back to the producer (ticket or overload response).
+    clock:
+        Injectable monotonic clock, for deterministic tests.
+    """
+
+    __slots__ = ("batch_size", "flush_interval", "_submit", "_clock",
+                 "_pages", "_levels", "_oldest")
+
+    def __init__(
+        self,
+        batch_size: int,
+        flush_interval: float,
+        submit: Callable[[np.ndarray, np.ndarray], object],
+        *,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        self.batch_size = batch_size
+        self.flush_interval = flush_interval
+        self._submit = submit
+        self._clock = clock
+        self._pages: list[int] = []
+        self._levels: list[int] = []
+        self._oldest = 0.0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def offer(self, page: int, level: int = 1) -> object | None:
+        """Buffer one request; returns the submit result on flush, else None."""
+        if not self._pages:
+            self._oldest = self._clock()
+        self._pages.append(page)
+        self._levels.append(level)
+        if (len(self._pages) >= self.batch_size
+                or self._clock() - self._oldest >= self.flush_interval):
+            return self.flush()
+        return None
+
+    def flush(self) -> object | None:
+        """Submit whatever is buffered; None if the buffer is empty.
+
+        If the submission is rejected (:class:`Overloaded`), the buffer is
+        *kept* so the producer can retry with a later ``flush`` call.
+        """
+        if not self._pages:
+            return None
+        pages = np.asarray(self._pages, dtype=np.int64)
+        levels = np.asarray(self._levels, dtype=np.int64)
+        result = self._submit(pages, levels)
+        if getattr(result, "accepted", True):
+            self._pages.clear()
+            self._levels.clear()
+        return result

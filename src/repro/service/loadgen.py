@@ -1,0 +1,143 @@
+"""Open-loop load generator for the paging service.
+
+Replays any :class:`~repro.core.requests.RequestSequence` (so every
+generator in :mod:`repro.workloads` works) against a
+:class:`~repro.service.server.PagingService` at a target request rate.
+The pacing is *open-loop*: batch ``i`` is due at ``start + i·B/rate``
+regardless of how fast the service responds, so a service that cannot
+keep up shows up as rising queue depth, ``Overloaded`` rejections and
+tail latency — not as a silently slower generator.
+
+Overloaded submissions are retried a bounded number of times (the batch
+is not lost), then dropped and counted.  The report carries achieved
+throughput, drop/overload counts and end-to-end batch latency
+percentiles measured from the accepted tickets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter, sleep
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.core.requests import RequestSequence
+from repro.service.ingest import BatchTicket
+from repro.service.server import PagingService
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    target_rate: float
+    achieved_rate: float
+    duration_s: float
+    n_requests: int
+    n_served: int
+    n_batches: int
+    n_overloaded: int
+    n_dropped_batches: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of offered requests shed after retries."""
+        return 1.0 - (self.n_served / self.n_requests) if self.n_requests else 0.0
+
+    def table(self) -> Table:
+        """One-row summary table in the repo's benchmark format."""
+        table = Table(
+            ["target req/s", "achieved req/s", "duration s", "served",
+             "dropped %", "overloads", "p50 ms", "p95 ms", "p99 ms"],
+            title="load generator report",
+        )
+        table.add_row(
+            self.target_rate, self.achieved_rate, self.duration_s,
+            self.n_served, 100.0 * self.drop_fraction, self.n_overloaded,
+            self.p50_ms, self.p95_ms, self.p99_ms,
+        )
+        return table
+
+    def render(self) -> str:
+        """Rendered summary table."""
+        return self.table().render()
+
+
+def run_load(
+    service: PagingService,
+    seq: RequestSequence,
+    *,
+    rate: float = 100_000.0,
+    batch_size: int | None = None,
+    max_retries: int = 3,
+    retry_backoff: float = 0.001,
+    drain_timeout: float | None = 30.0,
+) -> LoadReport:
+    """Replay ``seq`` against ``service`` at ``rate`` requests/second.
+
+    ``batch_size`` defaults to the service's configured micro-batch size.
+    The call drains the service before reporting, so counters in a
+    subsequent :meth:`~repro.service.server.PagingService.snapshot` cover
+    every accepted request.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    b = batch_size if batch_size is not None else service.config.batch_size
+    pages, levels = seq.pages, seq.levels
+    n = len(seq)
+    tickets: list[BatchTicket] = []
+    n_overloaded = 0
+    n_dropped = 0
+    started = perf_counter()
+    for lo in range(0, n, b):
+        due = started + lo / rate
+        now = perf_counter()
+        if now < due:
+            sleep(due - now)
+        batch_pages = pages[lo:lo + b]
+        batch_levels = levels[lo:lo + b]
+        result = service.submit_batch(batch_pages, batch_levels)
+        retries = 0
+        while not result.accepted and retries < max_retries:
+            retries += 1
+            sleep(retry_backoff * retries)
+            result = service.submit_batch(batch_pages, batch_levels)
+        n_overloaded += retries
+        if result.accepted:
+            tickets.append(result)
+        else:
+            n_overloaded += 1
+            n_dropped += 1
+    service.drain(drain_timeout)
+    duration = perf_counter() - started
+    n_served = sum(t.n_requests for t in tickets if t.done)
+    latencies = np.asarray(
+        [t.latency for t in tickets if t.latency is not None], dtype=np.float64
+    )
+    if latencies.size:
+        p50, p95, p99 = (
+            float(v) * 1e3 for v in np.percentile(latencies, [50.0, 95.0, 99.0])
+        )
+    else:
+        p50 = p95 = p99 = 0.0
+    return LoadReport(
+        target_rate=float(rate),
+        achieved_rate=n_served / duration if duration > 0 else 0.0,
+        duration_s=duration,
+        n_requests=n,
+        n_served=n_served,
+        n_batches=len(tickets),
+        n_overloaded=n_overloaded,
+        n_dropped_batches=n_dropped,
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
+    )

@@ -1,0 +1,193 @@
+"""Observability for the paging service.
+
+Three layers:
+
+* :class:`ServiceLedger` — a :class:`~repro.core.ledger.CostLedger` that
+  additionally buckets eviction counts and cost per level, so a snapshot can
+  report where the cost of a multi-level shard is going.
+* :class:`LatencyHistogram` — a bounded window of recent batch service
+  times; percentiles are computed over the window at snapshot time.
+* :class:`ShardSnapshot` / :class:`ServiceSnapshot` — immutable point-in-time
+  views rendered through the repo-standard :class:`~repro.analysis.Table`.
+
+All counters are monotonic over the service's lifetime; snapshots are cheap
+(one dict copy per shard) and safe to take while the service is running
+because engines only ever *add* to their ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.core.ledger import CostLedger
+
+__all__ = [
+    "ServiceLedger",
+    "LatencyHistogram",
+    "ShardSnapshot",
+    "ServiceSnapshot",
+]
+
+
+class ServiceLedger(CostLedger):
+    """Cost ledger with per-level eviction breakdowns for serving metrics."""
+
+    __slots__ = ("cost_by_level", "evictions_by_level")
+
+    def __init__(self, *, record_events: bool = False) -> None:
+        super().__init__(record_events=record_events)
+        self.cost_by_level: dict[int, float] = {}
+        self.evictions_by_level: dict[int, int] = {}
+
+    def charge_eviction(self, page: int, level: int, cost: float,
+                        reason: str = "") -> None:
+        super().charge_eviction(page, level, cost, reason)
+        self.cost_by_level[level] = self.cost_by_level.get(level, 0.0) + cost
+        self.evictions_by_level[level] = self.evictions_by_level.get(level, 0) + 1
+
+
+class LatencyHistogram:
+    """Bounded ring of recent observations (seconds) with percentile queries.
+
+    The window keeps the most recent ``window`` observations; the total
+    count and sum are monotonic so mean throughput can still be derived
+    after old samples rotate out.
+    """
+
+    __slots__ = ("_window", "_samples", "_pos", "count", "total_seconds")
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._samples: list[float] = []
+        self._pos = 0
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one service-time observation."""
+        self.count += 1
+        self.total_seconds += seconds
+        if len(self._samples) < self._window:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._pos] = seconds
+            self._pos = (self._pos + 1) % self._window
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) over the window, in seconds."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def percentiles_ms(self, qs=(50.0, 95.0, 99.0)) -> tuple[float, ...]:
+        """Several percentiles at once, converted to milliseconds."""
+        if not self._samples:
+            return tuple(0.0 for _ in qs)
+        arr = np.asarray(self._samples)
+        return tuple(float(v) * 1e3 for v in np.percentile(arr, list(qs)))
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """Point-in-time counters for one shard engine."""
+
+    shard: int
+    cache_size: int
+    n_requests: int
+    n_hits: int
+    n_misses: int
+    n_evictions: int
+    eviction_cost: float
+    cost_by_level: dict[int, float] = field(default_factory=dict)
+    evictions_by_level: dict[int, int] = field(default_factory=dict)
+    n_batches: int = 0
+    queue_depth: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this shard's requests served without cache changes."""
+        return self.n_hits / self.n_requests if self.n_requests else 0.0
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """Point-in-time view of the whole service (all shards + ingest)."""
+
+    shards: tuple[ShardSnapshot, ...]
+    n_overloaded: int = 0
+    n_submitted_batches: int = 0
+
+    # -- aggregates --------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        """Total requests processed across shards."""
+        return sum(s.n_requests for s in self.shards)
+
+    @property
+    def n_hits(self) -> int:
+        """Total hits across shards."""
+        return sum(s.n_hits for s in self.shards)
+
+    @property
+    def n_misses(self) -> int:
+        """Total misses across shards."""
+        return sum(s.n_misses for s in self.shards)
+
+    @property
+    def eviction_cost(self) -> float:
+        """Total eviction cost (the paper's objective) across shards."""
+        return sum(s.eviction_cost for s in self.shards)
+
+    @property
+    def hit_rate(self) -> float:
+        """Service-wide hit rate."""
+        n = self.n_requests
+        return self.n_hits / n if n else 0.0
+
+    def cost_by_level(self) -> dict[int, float]:
+        """Eviction cost per level, merged across shards."""
+        merged: dict[int, float] = {}
+        for s in self.shards:
+            for level, cost in s.cost_by_level.items():
+                merged[level] = merged.get(level, 0.0) + cost
+        return dict(sorted(merged.items()))
+
+    # -- rendering ---------------------------------------------------------
+    def table(self, *, include_latency: bool = True) -> Table:
+        """Per-shard counter table plus a totals row.
+
+        ``include_latency=False`` drops the (timing-dependent) percentile
+        columns so the rendering is bit-deterministic for golden tests.
+        """
+        columns = ["shard", "k", "requests", "hits", "misses",
+                   "evictions", "evict cost", "hit rate"]
+        if include_latency:
+            columns += ["batches", "p50 ms", "p95 ms", "p99 ms"]
+        table = Table(columns, title="service snapshot")
+        for s in self.shards:
+            row = [s.shard, s.cache_size, s.n_requests, s.n_hits, s.n_misses,
+                   s.n_evictions, s.eviction_cost, s.hit_rate]
+            if include_latency:
+                row += [s.n_batches, s.p50_ms, s.p95_ms, s.p99_ms]
+            table.add_row(*row)
+        total_row = ["total", sum(s.cache_size for s in self.shards),
+                     self.n_requests, self.n_hits, self.n_misses,
+                     sum(s.n_evictions for s in self.shards),
+                     self.eviction_cost, self.hit_rate]
+        if include_latency:
+            total_row += [self.n_submitted_batches, "", "", ""]
+        table.add_row(*total_row)
+        return table
+
+    def render(self, *, include_latency: bool = True) -> str:
+        """Rendered counter table plus the overload line."""
+        text = self.table(include_latency=include_latency).render()
+        return text + f"overloaded batches: {self.n_overloaded}\n"

@@ -1,0 +1,252 @@
+"""The paging service: router + shard engines + bounded ingest queues.
+
+:class:`PagingService` runs in one of two modes:
+
+* **inline** (default after construction) — :meth:`submit_batch` routes and
+  serves the batch on the caller's thread.  Deterministic, zero queueing,
+  ideal for benchmarks and tests.
+* **threaded** (after :meth:`start`, or inside a ``with`` block) — each
+  shard owns a bounded :class:`queue.Queue` drained by a dedicated worker
+  thread.  Submissions that would overflow any target shard queue are
+  rejected with :class:`~repro.service.ingest.Overloaded` — the service
+  never buffers unboundedly.
+
+Either way, per-shard request order equals arrival order, so the per-shard
+cost ledgers are bit-reproducible for a given (seed, trace) regardless of
+thread scheduling — the property the conformance tests pin down.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from time import monotonic, sleep
+
+import numpy as np
+
+from repro.errors import ServiceStateError
+from repro.service.config import ServiceConfig
+from repro.service.engine import ShardEngine
+from repro.service.ingest import BatchTicket, MicroBatcher, Overloaded
+from repro.service.metrics import ServiceSnapshot
+from repro.service.router import ShardRouter
+from repro.sim.seeding import spawn_seeds
+
+__all__ = ["PagingService"]
+
+_STOP = object()
+
+
+class PagingService:
+    """A long-lived, sharded serving front-end over any registered policy."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.router = ShardRouter(config.n_shards)
+        seeds = spawn_seeds(config.seed, config.n_shards)
+        self.engines = [
+            ShardEngine(
+                i, inst, config.policy_factory(), np.random.default_rng(seed),
+                validate=config.validate, latency_window=config.latency_window,
+            )
+            for i, (inst, seed) in enumerate(zip(config.shard_instances(), seeds))
+        ]
+        self._queues: list[_queue.Queue] = []
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+        self._n_overloaded = 0
+        self._n_batches = 0
+        self._errors: list[BaseException] = []
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
+        self._batcher = MicroBatcher(
+            config.batch_size, config.flush_interval, self.submit_batch
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "PagingService":
+        """Switch to threaded mode: one bounded queue + worker per shard."""
+        if self._stopped:
+            raise ServiceStateError("service already stopped")
+        if self._started:
+            raise ServiceStateError("service already started")
+        self._queues = [
+            _queue.Queue(maxsize=self.config.queue_depth) for _ in self.engines
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(shard,),
+                name=f"repro-shard-{shard}", daemon=True,
+            )
+            for shard in range(self.config.n_shards)
+        ]
+        self._started = True
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Drain pending work, stop the workers, and seal the service."""
+        if self._stopped:
+            return
+        if self._started:
+            self.drain(timeout)
+            for q in self._queues:
+                q.put(_STOP)
+            for t in self._threads:
+                t.join(timeout)
+        else:
+            self._flush_pending(timeout)
+        self._stopped = True
+        self._raise_pending()
+
+    def __enter__(self) -> "PagingService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- ingest ------------------------------------------------------------
+    def submit(self, page: int, level: int = 1):
+        """Offer one request to the micro-batcher (single-producer API).
+
+        Returns None while the request is buffered, otherwise the flush
+        result (:class:`BatchTicket` or :class:`Overloaded`).
+        """
+        return self._batcher.offer(page, level)
+
+    def flush(self):
+        """Force the micro-batcher to submit its partial batch, if any."""
+        return self._batcher.flush()
+
+    def submit_batch(self, pages, levels=None) -> BatchTicket | Overloaded:
+        """Submit one micro-batch; returns a ticket or an overload response.
+
+        ``levels`` defaults to all-ones (weighted paging).  In threaded
+        mode the batch is accepted only if *every* target shard queue has
+        room — all-or-nothing, so a rejected batch leaves no partial state
+        anywhere and can be retried verbatim.
+        """
+        self._raise_pending()
+        if self._stopped:
+            raise ServiceStateError("cannot submit to a stopped service")
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        if levels is None:
+            levels = np.ones_like(pages)
+        else:
+            levels = np.ascontiguousarray(levels, dtype=np.int64)
+        self.config.instance.validate_sequence(pages, levels)
+        parts = [
+            (shard, p, lv)
+            for shard, (p, lv) in enumerate(self.router.split(pages, levels))
+            if p.size
+        ]
+        if not self._started:
+            ticket = BatchTicket(len(parts), int(pages.size))
+            for shard, p, lv in parts:
+                self.engines[shard].process_batch(p, lv)
+                ticket.part_done()
+            self._n_batches += 1
+            return ticket
+        with self._lock:
+            for shard, _, _ in parts:
+                if self._queues[shard].full():
+                    self._n_overloaded += 1
+                    return Overloaded(shard, self.config.queue_depth)
+            ticket = BatchTicket(len(parts), int(pages.size))
+            self._inflight += len(parts)
+            for shard, p, lv in parts:
+                self._queues[shard].put((ticket, p, lv))
+            self._n_batches += 1
+        return ticket
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Flush the micro-batcher and wait until all queued work is served.
+
+        Returns False if the timeout expired with work still in flight.
+        """
+        deadline = None if timeout is None else monotonic() + timeout
+        if not self._flush_pending(timeout):
+            return False
+        if not self._started:
+            return True
+        with self._idle:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - monotonic()))
+            ok = self._idle.wait_for(lambda: self._inflight == 0, remaining)
+        self._raise_pending()
+        return ok
+
+    def _flush_pending(self, timeout: float | None) -> bool:
+        """Retry-flush the micro-batcher until accepted or timed out."""
+        deadline = None if timeout is None else monotonic() + timeout
+        while len(self._batcher):
+            result = self._batcher.flush()
+            if result is None or result.accepted:
+                return True
+            if deadline is not None and monotonic() >= deadline:
+                return False
+            sleep(0.0005)
+        return True
+
+    # -- worker loop -------------------------------------------------------
+    def _worker(self, shard: int) -> None:
+        q = self._queues[shard]
+        engine = self.engines[shard]
+        while True:
+            item = q.get()
+            if item is _STOP:
+                return
+            ticket, pages, levels = item
+            try:
+                engine.process_batch(pages, levels)
+            except BaseException as exc:  # surfaced on next submit/drain
+                with self._lock:
+                    self._errors.append(exc)
+            finally:
+                ticket.part_done()
+                with self._idle:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.notify_all()
+
+    def _raise_pending(self) -> None:
+        if self._errors:
+            exc = self._errors[0]
+            raise ServiceStateError(
+                f"shard worker failed: {exc!r}"
+            ) from exc
+
+    # -- observability -----------------------------------------------------
+    @property
+    def n_overloaded(self) -> int:
+        """Number of batch submissions rejected for backpressure."""
+        return self._n_overloaded
+
+    def total_cost(self) -> float:
+        """Total eviction cost across all shards (the paper's objective)."""
+        return sum(e.ledger.eviction_cost for e in self.engines)
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Point-in-time counters for every shard plus ingest totals."""
+        depths = (
+            [q.qsize() for q in self._queues] if self._started
+            else [0] * len(self.engines)
+        )
+        return ServiceSnapshot(
+            shards=tuple(
+                e.snapshot(queue_depth=d) for e, d in zip(self.engines, depths)
+            ),
+            n_overloaded=self._n_overloaded,
+            n_submitted_batches=self._n_batches,
+        )
+
+    def __repr__(self) -> str:
+        mode = ("stopped" if self._stopped
+                else "threaded" if self._started else "inline")
+        return (
+            f"PagingService(shards={self.config.n_shards}, mode={mode}, "
+            f"served={sum(e.n_requests for e in self.engines)})"
+        )

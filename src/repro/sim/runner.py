@@ -13,6 +13,8 @@ factories (all policies in :mod:`repro.algorithms` qualify).
 
 from __future__ import annotations
 
+import math
+import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -22,6 +24,7 @@ import numpy as np
 from repro.algorithms.base import Policy, WritebackPolicy
 from repro.core.instance import MultiLevelInstance, WritebackInstance
 from repro.core.requests import RequestSequence, WBRequestSequence
+from repro.errors import SweepWorkerError
 from repro.sim.metrics import RunResult, SeedAggregate, aggregate_runs
 from repro.sim.seeding import spawn_seeds
 from repro.sim.simulator import simulate, simulate_writeback
@@ -75,6 +78,23 @@ def run_spec(spec: RunSpec) -> SweepResult:
     return SweepResult(spec_label=label, params=dict(spec.params), runs=runs)
 
 
+def _run_spec_checked(spec: RunSpec) -> SweepResult:
+    """Run one spec, re-raising failures tagged with the spec's label.
+
+    A bare exception from a worker process arrives as a pickled traceback
+    with no indication of *which* sweep cell died; this wrapper (module-level,
+    so it is picklable for the pool) attaches the label and params up front.
+    """
+    try:
+        return run_spec(spec)
+    except Exception as exc:
+        label = spec.label or getattr(spec.policy_factory, "__name__", "?")
+        raise SweepWorkerError(
+            f"sweep spec {label!r} (params={spec.params}) failed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def run_sweep(
     specs: Sequence[RunSpec],
     *,
@@ -83,9 +103,15 @@ def run_sweep(
 ) -> list[SweepResult]:
     """Execute a whole sweep, optionally across worker processes.
 
-    Results come back in spec order regardless of execution order.
+    Results come back in spec order regardless of execution order.  A
+    failing spec raises :class:`~repro.errors.SweepWorkerError` naming the
+    spec's label (on both the sequential and the parallel path).
     """
     if not parallel or len(specs) <= 1:
-        return [run_spec(s) for s in specs]
+        return [_run_spec_checked(s) for s in specs]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(run_spec, specs))
+        # Without an explicit chunksize, map() ships specs one at a time;
+        # batching amortizes pickling of shared instances/sequences.
+        workers = max_workers or os.cpu_count() or 1
+        chunksize = max(1, math.ceil(len(specs) / (4 * workers)))
+        return list(pool.map(_run_spec_checked, specs, chunksize=chunksize))

@@ -9,8 +9,10 @@ invariants after every request:
 * (multi-level) at most one copy per page, levels in range.
 
 A policy that cheats raises :class:`~repro.errors.CacheInvariantError`
-immediately, with the failing time step in the message.  Verification adds
-one dict lookup per request; pass ``validate=False`` on hot benchmark paths.
+immediately, with the failing time step in the message.  Pass
+``validate=False`` on hot benchmark paths: the fast loop skips every
+per-request invariant check and batches the hit/miss accounting, so the
+only per-request work left is the serve call plus one dict lookup.
 """
 
 from __future__ import annotations
@@ -51,20 +53,47 @@ def simulate(
 
     pages = seq.pages.tolist()
     levels = seq.levels.tolist()
-    for t, (page, level) in enumerate(zip(pages, levels)):
-        ledger.set_time(t)
-        if cache.serves(page, level):
-            ledger.count_hit()
-        else:
-            ledger.count_miss()
-        policy.serve(t, page, level)
-        if validate:
-            if not cache.serves(page, level):
+    # The loop is duplicated per validation mode so the fast path carries no
+    # per-request branches; bound methods are hoisted into locals.  Policies
+    # never read the shared ledger (they only write through the cache), so
+    # the fast path batches hit/miss counts into plain ints and ledger
+    # timestamps are only maintained when the event log needs them.
+    serves = cache.serves
+    serve = policy.serve
+    if validate:
+        set_time = ledger.set_time
+        count_hit = ledger.count_hit
+        count_miss = ledger.count_miss
+        check = cache.check_invariants
+        for t, (page, level) in enumerate(zip(pages, levels)):
+            set_time(t)
+            if serves(page, level):
+                count_hit()
+            else:
+                count_miss()
+            serve(t, page, level)
+            if not serves(page, level):
                 raise CacheInvariantError(
                     f"policy {policy.name!r} left request t={t} "
                     f"(page={page}, level={level}) unserved"
                 )
-            cache.check_invariants()
+            check()
+    else:
+        hits = 0
+        if record_events:
+            set_time = ledger.set_time
+            for t, (page, level) in enumerate(zip(pages, levels)):
+                set_time(t)
+                if serves(page, level):
+                    hits += 1
+                serve(t, page, level)
+        else:
+            for t, (page, level) in enumerate(zip(pages, levels)):
+                if serves(page, level):
+                    hits += 1
+                serve(t, page, level)
+        ledger.n_hits += hits
+        ledger.n_misses += len(pages) - hits
 
     return RunResult(
         policy=policy.name,
@@ -104,22 +133,51 @@ def simulate_writeback(
 
     pages = seq.pages.tolist()
     writes = seq.writes.tolist()
-    for t, (page, is_write) in enumerate(zip(pages, writes)):
-        ledger.set_time(t)
-        if page in cache:
-            ledger.count_hit()
-        else:
-            ledger.count_miss()
-        policy.serve(t, page, is_write)
-        if validate:
-            if page not in cache:
+    # Same hot-loop structure as simulate(): per-mode loops, hoisted bound
+    # methods, and batched hit/miss counting on the validation-free path.
+    cached = cache.__contains__
+    serve = policy.serve
+    mark_dirty = cache.mark_dirty
+    if validate:
+        set_time = ledger.set_time
+        count_hit = ledger.count_hit
+        count_miss = ledger.count_miss
+        check = cache.check_invariants
+        for t, (page, is_write) in enumerate(zip(pages, writes)):
+            set_time(t)
+            if cached(page):
+                count_hit()
+            else:
+                count_miss()
+            serve(t, page, is_write)
+            if not cached(page):
                 raise CacheInvariantError(
                     f"policy {policy.name!r} left request t={t} "
                     f"(page={page}, write={is_write}) unserved"
                 )
-            cache.check_invariants()
-        if is_write:
-            cache.mark_dirty(page)
+            check()
+            if is_write:
+                mark_dirty(page)
+    else:
+        hits = 0
+        if record_events:
+            set_time = ledger.set_time
+            for t, (page, is_write) in enumerate(zip(pages, writes)):
+                set_time(t)
+                if cached(page):
+                    hits += 1
+                serve(t, page, is_write)
+                if is_write:
+                    mark_dirty(page)
+        else:
+            for t, (page, is_write) in enumerate(zip(pages, writes)):
+                if cached(page):
+                    hits += 1
+                serve(t, page, is_write)
+                if is_write:
+                    mark_dirty(page)
+        ledger.n_hits += hits
+        ledger.n_misses += len(pages) - hits
 
     final = {page: (1 if dirty else 2) for page, dirty in cache.items()}
     return RunResult(

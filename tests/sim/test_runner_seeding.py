@@ -102,3 +102,40 @@ class TestRunSweep:
         agg = res.aggregate
         assert agg.n_runs == 2
         assert agg.policy == "lru"
+
+
+class TestSweepFailureAttribution:
+    def test_failure_names_the_spec_label(self):
+        from repro.errors import SweepWorkerError
+
+        bad = RunSpec(
+            WeightedPagingInstance.uniform(10, 3),
+            zipf_stream(20, 50, rng=0),  # pages out of range for n=10
+            LRUPolicy,
+            label="bad-cell",
+            params={"idx": 7},
+        )
+        with pytest.raises(SweepWorkerError, match="bad-cell"):
+            run_sweep([make_spec(), bad])
+
+    def test_parallel_failure_names_the_spec_label(self):
+        from repro.errors import SweepWorkerError
+
+        specs = [make_spec(master_seed=i) for i in range(3)]
+        specs.append(RunSpec(
+            WeightedPagingInstance.uniform(10, 3),
+            zipf_stream(20, 50, rng=0),
+            LRUPolicy,
+            label="bad-parallel-cell",
+        ))
+        with pytest.raises(SweepWorkerError, match="bad-parallel-cell"):
+            run_sweep(specs, parallel=True, max_workers=2)
+
+    def test_parallel_chunked_matches_sequential(self):
+        # Many small specs exercise the chunksize>1 path.
+        specs = [make_spec(master_seed=s, idx=s) for s in range(10)]
+        seq_results = run_sweep(specs, parallel=False)
+        par_results = run_sweep(specs, parallel=True, max_workers=2)
+        for a, b in zip(seq_results, par_results):
+            assert [r.cost for r in a.runs] == [r.cost for r in b.runs]
+        assert [r.params["idx"] for r in par_results] == list(range(10))

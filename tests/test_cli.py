@@ -131,3 +131,66 @@ class TestReportCommand:
     def test_missing_dir_fails(self, capsys):
         rc = main(["report", "--results-dir", "/nonexistent/dir"])
         assert rc == 2
+
+
+class TestServeCommand:
+    def test_serve_round_trip(self, capsys):
+        rc = main([
+            "serve", "--policy", "waterfilling", "--k", "16", "--shards", "4",
+            "--n-pages", "64", "--requests", "2000", "--batch-size", "128",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "service snapshot" in out
+        assert "req/s" in out
+        assert "total eviction cost" in out
+
+    def test_serve_periodic_snapshots(self, capsys):
+        rc = main([
+            "serve", "--k", "8", "--shards", "2", "--n-pages", "32",
+            "--requests", "1000", "--batch-size", "100",
+            "--snapshot-every", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("service snapshot") >= 2
+
+    def test_serve_validate_mode(self, capsys):
+        rc = main([
+            "serve", "--k", "8", "--shards", "2", "--n-pages", "32",
+            "--requests", "500", "--validate",
+        ])
+        assert rc == 0
+
+    def test_serve_multilevel(self, capsys):
+        rc = main([
+            "serve", "--policy", "waterfilling", "--workload", "multilevel",
+            "--levels", "3", "--k", "8", "--n-pages", "32",
+            "--requests", "500", "--shards", "2",
+        ])
+        assert rc == 0
+
+    def test_serve_unknown_policy_rejected(self, capsys):
+        rc = main(["serve", "--policy", "nonsense"])
+        assert rc == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_serve_bad_sharding_rejected(self, capsys):
+        rc = main(["serve", "--k", "2", "--shards", "4"])
+        assert rc == 2
+
+
+class TestLoadgenCommand:
+    def test_loadgen_round_trip(self, capsys):
+        rc = main([
+            "loadgen", "--rate", "50000", "--k", "16", "--shards", "4",
+            "--n-pages", "64", "--requests", "3000", "--batch-size", "256",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "load generator report" in out
+        assert "service snapshot" in out
+
+    def test_loadgen_unknown_policy_rejected(self, capsys):
+        rc = main(["loadgen", "--policy", "nonsense"])
+        assert rc == 2
