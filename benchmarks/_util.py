@@ -4,14 +4,17 @@ Every experiment bench:
 
 * builds its workloads with fixed seeds (bit-reproducible tables),
 * produces a :class:`repro.analysis.Table` with the paper-style rows,
-* prints the table and writes it under ``benchmarks/results/`` so
-  EXPERIMENTS.md can quote the exact artifact,
+* prints the table and writes it under ``benchmarks/results/`` — both the
+  human-readable ``<name>.txt`` and a machine-readable ``<name>.json``
+  (columns, rows, and any experiment-specific ``extra`` payload) so CI can
+  archive and diff the artifacts,
 * asserts the *shape* claims (who wins, growth class, bounds hold) —
   absolute values are machine-dependent and never asserted.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.analysis import Table
@@ -19,12 +22,29 @@ from repro.analysis import Table
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def emit(table: Table, name: str) -> Table:
-    """Print a table and persist it to ``benchmarks/results/<name>.txt``."""
+def emit(table: Table, name: str, extra: dict | None = None) -> Table:
+    """Print a table and persist it under ``benchmarks/results/``.
+
+    Writes ``<name>.txt`` (rendered table) and ``<name>.json`` holding the
+    table's columns and formatted rows plus any keys from ``extra`` —
+    machine-readable metrics a consumer shouldn't have to re-parse from
+    the text rendering (throughput, percentiles, span totals, ...).
+    """
     text = table.render()
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    payload = {
+        "name": name,
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+    }
+    if extra:
+        payload.update(extra)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
     return table
 
 

@@ -71,6 +71,43 @@ def test_throughput_simulator_validation_overhead(benchmark, workload):
     benchmark(lambda: simulate(inst, seq, LRUPolicy(), validate=True))
 
 
+def test_throughput_tracing_disabled_overhead(workload, tmp_path):
+    # The observability gate: an attached-but-unsampled DecisionTracer must
+    # not slow the validate=False fast path by more than 5%.  sample=0 keeps
+    # `tracer.active` false, so simulate() runs the identical untraced loop;
+    # this pins that property against regressions.  Best-of-N timing with a
+    # small absolute slack keeps the comparison stable on noisy machines.
+    from time import perf_counter
+
+    from repro.obs import DecisionTracer
+
+    inst, seq = workload
+
+    def timed(fn, rounds=9):
+        fn()  # warm-up
+        best = float("inf")
+        for _ in range(rounds):
+            start = perf_counter()
+            fn()
+            best = min(best, perf_counter() - start)
+        return best
+
+    base = timed(
+        lambda: simulate(inst, seq, HeapWaterFillingPolicy(), validate=False)
+    )
+    with DecisionTracer(tmp_path / "off.jsonl", sample=0.0, seed=0) as tracer:
+        traced = timed(
+            lambda: simulate(
+                inst, seq, HeapWaterFillingPolicy(), validate=False,
+                tracer=tracer,
+            )
+        )
+    assert traced <= base * 1.05 + 1e-3, (
+        f"unsampled tracer overhead {traced / base:.3f}x exceeds the 5% "
+        f"budget (base {base * 1e3:.2f} ms, traced {traced * 1e3:.2f} ms)"
+    )
+
+
 def test_throughput_stack_distances(benchmark, workload):
     from repro.sim import stack_distances
 

@@ -45,7 +45,7 @@ def _service(inst, n_shards):
     ))
 
 
-def run_experiment() -> tuple[Table, dict[int, float]]:
+def run_experiment() -> tuple[Table, dict[int, float], dict]:
     inst, seq = _workload()
     ref = simulate(inst, seq, HeapWaterFillingPolicy(), validate=False)
 
@@ -56,6 +56,10 @@ def run_experiment() -> tuple[Table, dict[int, float]]:
     )
     table.add_row("simulate", ref.cost, 1.0, ref.hit_rate, "-", "-")
     ratios: dict[int, float] = {}
+    # Machine-readable payload for results/e12_service.json: throughput,
+    # latency percentiles, per-level eviction cost, and per-phase span
+    # totals for every shard count.
+    runs: dict[str, dict] = {}
     for n_shards in SHARD_COUNTS:
         svc = _service(inst, n_shards)
         started = perf_counter()
@@ -67,7 +71,37 @@ def run_experiment() -> tuple[Table, dict[int, float]]:
         p95 = max(s.p95_ms for s in snap.shards)
         table.add_row(n_shards, snap.eviction_cost, ratios[n_shards],
                       snap.hit_rate, int(len(seq) / elapsed), p95)
-    return table, ratios
+        evictions_by_level: dict[str, int] = {}
+        for s in snap.shards:
+            for level, n in s.evictions_by_level.items():
+                key = str(level)
+                evictions_by_level[key] = evictions_by_level.get(key, 0) + n
+        runs[str(n_shards)] = {
+            "throughput_req_s": len(seq) / elapsed,
+            "p50_ms": max(s.p50_ms for s in snap.shards),
+            "p95_ms": p95,
+            "p99_ms": max(s.p99_ms for s in snap.shards),
+            "eviction_cost": snap.eviction_cost,
+            "cost_vs_unsharded": ratios[n_shards],
+            "hit_rate": snap.hit_rate,
+            "cost_by_level": {
+                str(level): cost
+                for level, cost in snap.cost_by_level().items()
+            },
+            "evictions_by_level": evictions_by_level,
+            "spans": {
+                name: {"n": s.n, "total_s": s.total_s,
+                       "mean_ms": s.mean_ms, "max_ms": 1e3 * s.max_s}
+                for name, s in snap.merged_spans().items()
+            },
+        }
+    extra = {
+        "workload": {"n_pages": N_PAGES, "k": K, "requests": STREAM_LEN,
+                     "batch_size": BATCH, "policy": "waterfilling-heap"},
+        "unsharded_cost": ref.cost,
+        "runs": runs,
+    }
+    return table, ratios, extra
 
 
 def run_loadgen_experiment() -> tuple[Table, object]:
@@ -91,8 +125,13 @@ def run_loadgen_experiment() -> tuple[Table, object]:
 
 
 def test_e12_sharded_cost_and_throughput(benchmark):
-    table, ratios = once(benchmark, run_experiment)
-    emit(table, "e12_service")
+    table, ratios, extra = once(benchmark, run_experiment)
+    emit(table, "e12_service", extra=extra)
+    # The JSON payload carries the machine-readable metrics CI archives.
+    for run in extra["runs"].values():
+        assert run["throughput_req_s"] > 0
+        assert run["cost_by_level"] and run["evictions_by_level"]
+        assert "evict" in run["spans"] and "ingest" in run["spans"]
     # Single-shard service is exactly the simulator, streamed.
     assert ratios[1] == 1.0
     # Partitioned-cache degradation stays within the constant-factor band.

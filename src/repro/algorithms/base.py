@@ -31,6 +31,14 @@ class Policy(ABC):
     #: Short name used in reports and tables.
     name: str = "policy"
 
+    #: Optional :class:`repro.obs.DecisionTracer`, attached by the simulator
+    #: or shard engine for the duration of a traced run.  Policies that can
+    #: enumerate their eviction candidates cheaply should guard on
+    #: ``self.tracer is not None and self.tracer.sampled`` and call
+    #: ``self.tracer.candidates(t, [(page, level, score), ...])`` before
+    #: choosing a victim.
+    tracer = None
+
     def __init__(self) -> None:
         self.instance: MultiLevelInstance | None = None
         self.cache: MultiLevelCache | None = None

@@ -77,6 +77,15 @@ class WaterFillingPolicy(Policy):
         # step 2b: make room if needed, raising water levels uniformly
         # until the copy with the smallest remaining headroom drowns.
         while cache.is_full:
+            tracer = self.tracer
+            if tracer is not None and tracer.sampled:
+                # Candidate set with remaining headroom f-distance-to-death;
+                # only materialized for sampled requests, so the untraced
+                # path pays a single attribute load per eviction round.
+                tracer.candidates(t, [
+                    (q, lv, self._death[q] - self._offset)
+                    for q, lv in cache.items()
+                ])
             victim = min(
                 cache.pages(), key=lambda q: (self._death[q], self._seq[q])
             )

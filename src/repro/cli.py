@@ -13,6 +13,8 @@ Commands
              (:mod:`repro.service`) and print live metric snapshots.
 ``loadgen``  replay a workload against the service at a target request
              rate and report achieved throughput + tail latency.
+``trace``    replay or validate a JSONL decision trace produced by
+             ``run --trace`` / ``serve --trace-dir`` (:mod:`repro.obs`).
 
 Examples
 --------
@@ -23,8 +25,12 @@ Examples
         --n-pages 32 --cache-size 8 --requests 5000 --workload zipf --opt
     python -m repro run --policies randomized-multilevel --levels 3 \
         --n-pages 24 --cache-size 6 --workload multilevel --seeds 5
+    python -m repro run --policies waterfilling --requests 2000 \
+        --trace run.jsonl --trace-sample 0.25
+    python -m repro trace replay run.jsonl --top 15
     python -m repro verify --n-pages 5 --cache-size 2 --levels 2
-    python -m repro serve --policy waterfilling --k 64 --shards 4
+    python -m repro serve --policy waterfilling --k 64 --shards 4 \
+        --metrics-port 9100 --trace-dir traces/
     python -m repro loadgen --rate 100000 --shards 4
 """
 
@@ -87,6 +93,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--parallel", action="store_true",
                      help="run the sweep across worker processes")
     run.add_argument("--csv", action="store_true", help="emit CSV")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a JSONL decision trace (single policy, "
+                          "single seed)")
+    run.add_argument("--trace-sample", type=float, default=1.0,
+                     help="fraction of requests to trace (deterministic "
+                          "in the master seed)")
 
     sub.add_parser("policies", help="list registered policies")
 
@@ -129,6 +141,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--results-dir", default="benchmarks/results")
 
+    trace = sub.add_parser(
+        "trace", help="replay or validate a JSONL decision trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    replay = trace_sub.add_parser(
+        "replay", help="re-render a trace into per-page/per-level summaries"
+    )
+    replay.add_argument("path", help="JSONL trace file")
+    replay.add_argument("--top", type=int, default=10,
+                        help="pages to show in the cost ranking")
+    validate = trace_sub.add_parser(
+        "validate", help="check a trace file against the trace schema"
+    )
+    validate.add_argument("path", help="JSONL trace file")
+
     serve = sub.add_parser(
         "serve", help="run a workload through the sharded paging service"
     )
@@ -168,6 +195,13 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         help="max pending batches per shard before Overloaded")
     parser.add_argument("--validate", action="store_true",
                         help="verify cache invariants after every request")
+    parser.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                        help="expose Prometheus-style /metrics on this port "
+                             "(0 picks a free port)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write per-shard JSONL decision traces here")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        help="fraction of requests to trace per shard")
 
 
 def _make_workload(args) -> tuple[MultiLevelInstance, object]:
@@ -201,6 +235,8 @@ def _cmd_run(args) -> int:
         print(f"available: {', '.join(sorted(policy_registry))}", file=sys.stderr)
         return 2
     inst, seq = _make_workload(args)
+    if args.trace:
+        return _run_traced(args, names, inst, seq)
     opt_value = None
     if args.opt:
         opt = best_opt_bound(inst, seq)
@@ -224,6 +260,48 @@ def _cmd_run(args) -> int:
         table.add_row(*row)
     print(table.to_csv() if args.csv else table.render())
     return 0
+
+
+def _run_traced(args, names, inst, seq) -> int:
+    """``run --trace``: one traced simulate, summary table + trace file."""
+    from repro.obs import DecisionTracer
+    from repro.sim import simulate
+
+    if len(names) != 1 or args.seeds != 1:
+        print("--trace records one decision stream: use a single policy "
+              "and --seeds 1", file=sys.stderr)
+        return 2
+    name = names[0]
+    with DecisionTracer(args.trace, sample=args.trace_sample,
+                        seed=args.master_seed, source=name) as tracer:
+        result = simulate(inst, seq, policy_registry[name](),
+                          seed=args.master_seed, tracer=tracer)
+    table = Table(["policy", "cost", "hit rate", "evictions",
+                   "traced reqs", "traced events"],
+                  title=f"{inst.name} / {args.workload} (traced)")
+    table.add_row(name, result.cost, result.hit_rate, result.n_evictions,
+                  tracer.n_requests, tracer.n_written)
+    print(table.to_csv() if args.csv else table.render())
+    print(f"trace written to {args.trace} "
+          f"({tracer.n_written} events, {tracer.n_dropped} dropped, "
+          f"sample={args.trace_sample:g})")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """``trace replay`` / ``trace validate`` over a JSONL decision trace."""
+    from repro.obs import replay_trace, validate_trace
+
+    try:
+        if args.trace_command == "validate":
+            report = validate_trace(args.path)
+            print(report.render())
+            return 0 if report.ok else 1
+        print(replay_trace(args.path).render(top=args.top))
+        return 0
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 def _cmd_policies() -> int:
@@ -326,11 +404,18 @@ def _cmd_lower_bound(args) -> int:
 
 
 def _make_service(args):
-    """Build (service, sequence) from the shared serve/loadgen flags."""
+    """Build (service, sequence) from the shared serve/loadgen flags.
+
+    ``--metrics-port`` backs the service with a real registry (otherwise
+    all metric calls hit the no-op sink); ``--trace-dir`` attaches one
+    decision tracer per shard before any traffic.
+    """
     from repro.errors import ServiceConfigError
+    from repro.obs import MetricsRegistry
     from repro.service import PagingService, ServiceConfig
 
     inst, seq = _make_workload(args)
+    registry = MetricsRegistry() if args.metrics_port is not None else None
     try:
         config = ServiceConfig.from_policy_name(
             args.policy, inst,
@@ -339,11 +424,30 @@ def _make_service(args):
             queue_depth=args.queue_depth,
             seed=args.master_seed,
             validate=args.validate,
+            metrics_registry=registry,
         )
     except ServiceConfigError as exc:
         print(str(exc), file=sys.stderr)
         return None, None
-    return PagingService(config), seq
+    service = PagingService(config)
+    if args.trace_dir is not None:
+        paths = service.enable_tracing(args.trace_dir,
+                                       sample=args.trace_sample,
+                                       seed=args.master_seed)
+        print(f"tracing {len(paths)} shard(s) into {args.trace_dir} "
+              f"(sample={args.trace_sample:g})")
+    return service, seq
+
+
+def _start_metrics_server(args, service):
+    """Start the /metrics HTTP thread when ``--metrics-port`` was given."""
+    if args.metrics_port is None:
+        return None
+    from repro.obs import MetricsServer
+
+    server = MetricsServer(service.registry, port=args.metrics_port).start()
+    print(f"metrics exposed at {server.url}")
+    return server
 
 
 def _cmd_serve(args) -> int:
@@ -352,22 +456,27 @@ def _cmd_serve(args) -> int:
     service, seq = _make_service(args)
     if service is None:
         return 2
+    metrics_server = _start_metrics_server(args, service)
     b = args.batch_size
     print(f"serving {len(seq)} requests through {service!r}\n")
     started = perf_counter()
-    with service:
-        for i, lo in enumerate(range(0, len(seq), b)):
-            result = service.submit_batch(seq.pages[lo:lo + b],
-                                          seq.levels[lo:lo + b])
-            while not result.accepted:
-                service.drain(0.01)
+    try:
+        with service:
+            for i, lo in enumerate(range(0, len(seq), b)):
                 result = service.submit_batch(seq.pages[lo:lo + b],
                                               seq.levels[lo:lo + b])
-            if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
-                print(service.snapshot().render())
-        service.drain()
-        elapsed = perf_counter() - started
-        snap = service.snapshot()
+                while not result.accepted:
+                    service.drain(0.01)
+                    result = service.submit_batch(seq.pages[lo:lo + b],
+                                                  seq.levels[lo:lo + b])
+                if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
+                    print(service.snapshot().render())
+            service.drain()
+            elapsed = perf_counter() - started
+            snap = service.snapshot()
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
     print(snap.render())
     rate = snap.n_requests / elapsed if elapsed > 0 else 0.0
     print(f"served {snap.n_requests} requests in {elapsed:.3f}s "
@@ -381,13 +490,18 @@ def _cmd_loadgen(args) -> int:
     service, seq = _make_service(args)
     if service is None:
         return 2
+    metrics_server = _start_metrics_server(args, service)
     print(f"load: {len(seq)} requests at {args.rate:,.0f} req/s "
           f"against {service!r}\n")
-    with service:
-        report = run_load(service, seq, rate=args.rate,
-                          batch_size=args.batch_size,
-                          max_retries=args.max_retries)
-        snap = service.snapshot()
+    try:
+        with service:
+            report = run_load(service, seq, rate=args.rate,
+                              batch_size=args.batch_size,
+                              max_retries=args.max_retries)
+            snap = service.snapshot()
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
     print(report.render())
     print(snap.render())
     return 0 if report.n_served else 1
@@ -408,6 +522,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "report":
         from repro.analysis.report import consolidate_results
 

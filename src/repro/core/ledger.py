@@ -44,6 +44,7 @@ class CostLedger:
         "cost_by_reason",
         "record_events",
         "events",
+        "tracer",
         "_time",
     )
 
@@ -56,6 +57,11 @@ class CostLedger:
         self.cost_by_reason: dict[str, float] = {}
         self.record_events = record_events
         self.events: list[EvictionRecord] = []
+        #: Optional :class:`repro.obs.DecisionTracer` (duck-typed — anything
+        #: with an ``eviction(t, page, level, cost, reason)`` method).  The
+        #: simulator / engine attaches it only while tracing, so the fast
+        #: paths keep this None and pay one attribute load per eviction.
+        self.tracer = None
         self._time: int = 0
 
     # -- clock -------------------------------------------------------------
@@ -80,6 +86,8 @@ class CostLedger:
             self.cost_by_reason[reason] = self.cost_by_reason.get(reason, 0.0) + cost
         if self.record_events:
             self.events.append(EvictionRecord(self._time, page, level, cost, reason))
+        if self.tracer is not None:
+            self.tracer.eviction(self._time, page, level, cost, reason)
 
     def count_fetch(self) -> None:
         """Record a (free) fetch."""

@@ -1,0 +1,82 @@
+"""repro.obs — unified observability: metrics, decision traces, spans.
+
+Three orthogonal pieces, shared by the simulator, the sharded service, the
+CLI and the benchmark harness:
+
+* **Metrics registry** (:mod:`repro.obs.registry`) — labeled
+  Counter/Gauge/Histogram families with Prometheus-style text exposition
+  and a shared no-op registry (:func:`null_registry`) so instrumented code
+  pays nothing when metrics are off.  :class:`MetricsServer` exposes a
+  registry over HTTP (``repro serve --metrics-port``).
+* **Decision tracer** (:mod:`repro.obs.tracer`) — a sampled, bounded JSONL
+  stream of paging decisions (request, hit/miss, eviction candidates with
+  scores, chosen victim, per-level cost).  Sampling is a pure function of
+  ``(seed, t)``, so traces are byte-identical across execution modes.
+  :func:`replay_trace` re-renders a trace into per-page / per-level
+  summaries; :func:`validate_trace` checks files against
+  :data:`TRACE_SCHEMA`.
+* **Phase profiler** (:mod:`repro.obs.spans`) — context-manager spans
+  (``ingest``, ``route``, ``evict``, ``snapshot``) aggregated per run and
+  per shard, surfaced in service snapshots.
+
+Quick start::
+
+    from repro.obs import DecisionTracer, replay_trace
+    from repro.sim import simulate
+
+    with DecisionTracer("run.jsonl", sample=0.5, seed=0) as tracer:
+        simulate(instance, seq, policy, seed=0, tracer=tracer)
+    print(replay_trace("run.jsonl").render())
+"""
+
+from repro.obs.http import MetricsServer
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullMetric,
+    get_registry,
+    null_registry,
+    set_registry,
+)
+from repro.obs.spans import PhaseProfiler, SpanStats, merge_span_stats
+from repro.obs.tracer import (
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    DecisionTracer,
+    TraceSummary,
+    TraceValidation,
+    read_trace,
+    replay_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullMetric",
+    "NULL_METRIC",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "null_registry",
+    "MetricsServer",
+    "PhaseProfiler",
+    "SpanStats",
+    "merge_span_stats",
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+    "DecisionTracer",
+    "TraceSummary",
+    "TraceValidation",
+    "read_trace",
+    "replay_trace",
+    "validate_trace",
+]

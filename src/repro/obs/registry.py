@@ -1,0 +1,320 @@
+"""Labeled metric primitives and a process-wide registry.
+
+A deliberately small subset of the Prometheus data model — enough to make
+every counter the service and CLI expose scrapeable without adding a
+dependency:
+
+* :class:`Counter` — monotonically increasing float (``inc``),
+* :class:`Gauge` — settable float (``set`` / ``inc`` / ``dec``),
+* :class:`Histogram` — fixed cumulative buckets plus ``_sum`` / ``_count``,
+* :class:`MetricsRegistry` — owns named metric *families* (one per metric
+  name, children keyed by label values) and renders the standard text
+  exposition format (``text/plain; version=0.0.4``).
+
+Two fast paths keep observability out of the hot loops:
+
+* children are plain objects with a single attribute update per
+  ``inc``/``observe`` — no locks (each child is written by one shard
+  thread; torn reads during exposition are benign for monotone floats),
+* :func:`null_registry` returns a shared registry whose families and
+  children are all the same no-op sink, so code can be written
+  unconditionally against the metrics API and pay one attribute load when
+  metrics are off.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullMetric",
+    "NULL_METRIC",
+    "null_registry",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds) — tuned for batch
+#: service times from sub-millisecond to tens of seconds.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value; one child per label combination."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, in-flight work)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram with ``_sum`` and ``_count``."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class NullMetric:
+    """Absorbs every metric operation; the no-op fast path.
+
+    A single shared instance stands in for families *and* children, so
+    ``registry.counter(...).labels(...).inc()`` is three cheap no-ops when
+    metrics are disabled.
+    """
+
+    __slots__ = ()
+
+    def labels(self, *values: str) -> "NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = NullMetric()
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one named metric, keyed by label-value tuples."""
+
+    __slots__ = ("name", "help", "type", "labelnames", "_children",
+                 "_buckets", "_lock")
+
+    def __init__(self, name: str, help_text: str, metric_type: str,
+                 labelnames: tuple[str, ...],
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.help = help_text
+        self.type = metric_type
+        self.labelnames = labelnames
+        self._children: dict[tuple[str, ...], object] = {}
+        self._buckets = buckets
+        self._lock = threading.Lock()
+
+    def labels(self, *values) -> Counter | Gauge | Histogram:
+        """The child for one label-value combination (created on first use).
+
+        Call with no arguments for an unlabeled family.  Values are
+        stringified, so ``labels(3)`` and ``labels("3")`` are one child.
+        """
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label values "
+                f"({', '.join(self.labelnames)}), got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    cls = _TYPES[self.type]
+                    child = cls(self._buckets) if cls is Histogram else cls()
+                    self._children[key] = child
+        return child
+
+    # Unlabeled convenience: family.inc() etc. forward to the () child.
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def children(self) -> dict[tuple[str, ...], object]:
+        """A point-in-time copy of the label -> child mapping."""
+        return dict(self._children)
+
+
+def _fmt_value(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _fmt_labels(names: tuple[str, ...], values: tuple[str, ...],
+                extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{v}"' for n, v in zip(names, values)]
+    pairs += [f'{n}="{v}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class MetricsRegistry:
+    """Owns metric families and renders the text exposition format."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, help_text: str, metric_type: str,
+                  labelnames: tuple[str, ...],
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.type != metric_type or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.type}{family.labelnames}, cannot re-register "
+                        f"as {metric_type}{labelnames}"
+                    )
+                return family
+            family = MetricFamily(name, help_text, metric_type, labelnames,
+                                  buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> MetricFamily:
+        """Register (or fetch) a histogram family."""
+        return self._register(name, help_text, "histogram", labelnames, buckets)
+
+    def families(self) -> list[MetricFamily]:
+        """Registered families, sorted by name."""
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def render(self) -> str:
+        """Prometheus text exposition of every family and child."""
+        lines: list[str] = []
+        for fam in self.families():
+            if fam.help:
+                lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(f"# TYPE {fam.name} {fam.type}")
+            for key, child in sorted(fam.children().items()):
+                if fam.type == "histogram":
+                    cumulative = 0
+                    for bound, n in zip(child.buckets, child.counts):
+                        cumulative += n
+                        labels = _fmt_labels(fam.labelnames, key,
+                                             (("le", _fmt_value(bound)),))
+                        lines.append(f"{fam.name}_bucket{labels} {cumulative}")
+                    cumulative += child.counts[-1]
+                    labels = _fmt_labels(fam.labelnames, key, (("le", "+Inf"),))
+                    lines.append(f"{fam.name}_bucket{labels} {cumulative}")
+                    base = _fmt_labels(fam.labelnames, key)
+                    lines.append(f"{fam.name}_sum{base} {_fmt_value(child.sum)}")
+                    lines.append(f"{fam.name}_count{base} {child.count}")
+                else:
+                    labels = _fmt_labels(fam.labelnames, key)
+                    lines.append(f"{fam.name}{labels} {_fmt_value(child.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+class _NullRegistry(MetricsRegistry):
+    """Registry whose every family is the shared :data:`NULL_METRIC`."""
+
+    def _register(self, name, help_text, metric_type, labelnames,
+                  buckets=DEFAULT_BUCKETS):
+        return NULL_METRIC
+
+    def families(self) -> list[MetricFamily]:
+        return []
+
+
+_NULL_REGISTRY = _NullRegistry()
+_default_registry = MetricsRegistry()
+
+
+def null_registry() -> MetricsRegistry:
+    """The shared no-op registry — safe to pass anywhere a registry goes."""
+    return _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default registry; returns the old one."""
+    global _default_registry
+    old = _default_registry
+    _default_registry = registry
+    return old

@@ -1,0 +1,133 @@
+"""Phase profiling: named context-manager spans aggregated per profiler.
+
+A :class:`PhaseProfiler` accumulates, per span name, the number of entries,
+total wall time and maximum single duration.  Spans are meant for *phase*
+granularity (one per batch / snapshot, not per request), so the two
+``perf_counter`` calls per span are negligible next to the work they wrap.
+
+Profilers are single-writer: the service profiler is driven by the
+submitting thread, each shard engine's by its worker thread.  Reading
+:meth:`stats` from another thread during a run is safe — values are plain
+floats updated under the GIL, and a torn read merely mixes two adjacent
+batches.  :meth:`merge` folds per-shard profilers into a run-level view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+__all__ = ["SpanStats", "PhaseProfiler"]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate timing of one named phase."""
+
+    name: str
+    n: int
+    total_s: float
+    max_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean duration per entry, in milliseconds."""
+        return 1e3 * self.total_s / self.n if self.n else 0.0
+
+    def merged(self, other: "SpanStats") -> "SpanStats":
+        """The aggregate of this and another stats record (same name)."""
+        return SpanStats(
+            name=self.name,
+            n=self.n + other.n,
+            total_s=self.total_s + other.total_s,
+            max_s=max(self.max_s, other.max_s),
+        )
+
+
+class _Span:
+    """Reusable timing context for one profiler + name pair."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.record(self._name, perf_counter() - self._t0)
+
+
+class PhaseProfiler:
+    """Accumulates (count, total, max) per span name."""
+
+    __slots__ = ("_cells", "_spans")
+
+    def __init__(self) -> None:
+        # name -> [n, total_s, max_s]; lists so record() is two updates.
+        self._cells: dict[str, list] = {}
+        self._spans: dict[str, _Span] = {}
+
+    def span(self, name: str) -> _Span:
+        """A reusable ``with``-able timer for phase ``name``."""
+        span = self._spans.get(name)
+        if span is None:
+            span = self._spans[name] = _Span(self, name)
+        return span
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record one completed phase duration directly."""
+        cell = self._cells.get(name)
+        if cell is None:
+            self._cells[name] = [1, seconds, seconds]
+            return
+        cell[0] += 1
+        cell[1] += seconds
+        if seconds > cell[2]:
+            cell[2] = seconds
+
+    def stats(self) -> dict[str, SpanStats]:
+        """Point-in-time aggregate per span name."""
+        return {
+            name: SpanStats(name, cell[0], cell[1], cell[2])
+            for name, cell in self._cells.items()
+        }
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's accumulators into this one."""
+        for name, cell in other._cells.items():
+            mine = self._cells.get(name)
+            if mine is None:
+                self._cells[name] = list(cell)
+            else:
+                mine[0] += cell[0]
+                mine[1] += cell[1]
+                if cell[2] > mine[2]:
+                    mine[2] = cell[2]
+
+    def clear(self) -> None:
+        """Drop all accumulated stats (spans stay usable)."""
+        self._cells.clear()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{n}: {c[0]}x {c[1]:.4f}s" for n, c in sorted(self._cells.items())
+        )
+        return f"PhaseProfiler({parts})"
+
+
+def merge_span_stats(*stat_maps: dict[str, SpanStats]) -> dict[str, SpanStats]:
+    """Merge several ``name -> SpanStats`` maps into one (sorted by name)."""
+    merged: dict[str, SpanStats] = {}
+    for stats in stat_maps:
+        for name, s in stats.items():
+            cur = merged.get(name)
+            merged[name] = s if cur is None else cur.merged(s)
+    return dict(sorted(merged.items()))
+
+
+__all__.append("merge_span_stats")

@@ -14,9 +14,19 @@ behind a long-lived, stream-oriented server:
   overload surfaces as an explicit :class:`Overloaded` response instead of
   unbounded memory growth,
 * :class:`~repro.service.metrics.ServiceSnapshot` exposes monotonic counters
-  (hits, misses, eviction cost per level) and batch-latency percentiles,
+  (hits, misses, eviction cost per level), batch-latency percentiles, and
+  per-phase :class:`~repro.obs.SpanStats` (``ingest`` / ``route`` /
+  ``evict`` / ``snapshot``),
 * :func:`run_load` replays any :mod:`repro.workloads` stream at a target
   request rate and reports achieved throughput + tail latency.
+
+Observability (:mod:`repro.obs`) is opt-in and free when off: pass a
+:class:`~repro.obs.MetricsRegistry` via ``ServiceConfig.metrics_registry``
+to publish Prometheus-style exposition metrics (serve it with
+:class:`~repro.obs.MetricsServer`), and call
+:meth:`PagingService.enable_tracing` before traffic to write per-shard
+JSONL decision traces that are byte-identical between inline and threaded
+runs.
 
 Quick start::
 

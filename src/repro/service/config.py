@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.algorithms.base import Policy
 from repro.core.instance import MultiLevelInstance
 from repro.errors import ServiceConfigError
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["ServiceConfig"]
 
@@ -48,6 +49,10 @@ class ServiceConfig:
     latency_window:
         Number of recent batch service times kept per shard for
         percentile estimates.
+    metrics_registry:
+        Optional :class:`~repro.obs.MetricsRegistry` the service and its
+        shard engines publish exposition metrics into.  ``None`` (the
+        default) routes every metrics call to the shared no-op sink.
     """
 
     instance: MultiLevelInstance
@@ -60,6 +65,9 @@ class ServiceConfig:
     validate: bool = False
     latency_window: int = 4096
     policy_name: str = field(default="", compare=False)
+    metrics_registry: MetricsRegistry | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:

@@ -7,6 +7,16 @@ driven by an unbounded *stream* of micro-batches instead of one materialized
 trace, with a monotonic per-shard logical clock and batch service times fed
 into a :class:`~repro.service.metrics.LatencyHistogram`.
 
+Observability hooks (all default to no-ops):
+
+* a :class:`~repro.obs.MetricsRegistry` mirrors the shard's counters into
+  shard-labeled exposition metrics,
+* a :class:`~repro.obs.PhaseProfiler` times every batch under the ``evict``
+  span (the phase where the policy decides and pays),
+* a :class:`~repro.obs.DecisionTracer` attached via :meth:`set_tracer`
+  records sampled decisions against the shard's *logical* clock, so inline
+  and threaded runs produce byte-identical traces.
+
 Engines are single-consumer: exactly one thread (or the caller, in inline
 mode) may call :meth:`process_batch`.  That keeps per-shard request order —
 and therefore cost ledgers — deterministic without any locking in the hot
@@ -23,6 +33,8 @@ from repro.algorithms.base import Policy
 from repro.core.cache import MultiLevelCache
 from repro.core.instance import MultiLevelInstance
 from repro.errors import CacheInvariantError
+from repro.obs.registry import MetricsRegistry, null_registry
+from repro.obs.spans import PhaseProfiler
 from repro.service.metrics import LatencyHistogram, ServiceLedger, ShardSnapshot
 
 __all__ = ["ShardEngine"]
@@ -33,7 +45,8 @@ class ShardEngine:
 
     __slots__ = (
         "shard_id", "instance", "policy", "ledger", "cache", "latency",
-        "validate", "n_batches", "_t",
+        "validate", "n_batches", "profiler", "tracer",
+        "_m_requests", "_m_hits", "_m_misses", "_m_batches", "_t",
     )
 
     def __init__(
@@ -45,15 +58,41 @@ class ShardEngine:
         *,
         validate: bool = False,
         latency_window: int = 4096,
+        registry: MetricsRegistry | None = None,
     ) -> None:
+        reg = registry if registry is not None else null_registry()
+        shard_label = str(shard_id)
         self.shard_id = shard_id
         self.instance = instance
         self.policy = policy
-        self.ledger = ServiceLedger()
+        self.ledger = ServiceLedger(registry=reg, shard=shard_id)
         self.cache = MultiLevelCache(instance, self.ledger)
-        self.latency = LatencyHistogram(latency_window)
+        self.latency = LatencyHistogram(
+            latency_window,
+            metric=reg.histogram(
+                "repro_batch_latency_seconds",
+                "Batch service time per shard",
+                ("shard",),
+            ).labels(shard_label),
+        )
         self.validate = validate
         self.n_batches = 0
+        self.profiler = PhaseProfiler()
+        self.tracer = None
+        self._m_requests = reg.counter(
+            "repro_requests_total", "Requests served", ("shard",)
+        ).labels(shard_label)
+        self._m_hits = reg.counter(
+            "repro_hits_total", "Requests served without cache changes",
+            ("shard",),
+        ).labels(shard_label)
+        self._m_misses = reg.counter(
+            "repro_misses_total", "Requests that required cache changes",
+            ("shard",),
+        ).labels(shard_label)
+        self._m_batches = reg.counter(
+            "repro_batches_total", "Micro-batches processed", ("shard",)
+        ).labels(shard_label)
         self._t = 0
         policy.bind(instance, self.cache, rng)
 
@@ -61,6 +100,16 @@ class ShardEngine:
     def n_requests(self) -> int:
         """Requests processed so far (the shard's logical clock)."""
         return self._t
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or with ``None`` detach) a decision tracer.
+
+        The tracer is shared with the ledger and the policy so eviction
+        and candidate events ride along with their sampled request.
+        """
+        self.tracer = tracer
+        self.ledger.tracer = tracer
+        self.policy.tracer = tracer
 
     def process_batch(self, pages: np.ndarray, levels: np.ndarray) -> None:
         """Serve one micro-batch; every page must be routed to this shard.
@@ -75,14 +124,20 @@ class ShardEngine:
         serve = self.policy.serve
         t = self._t
         hits = 0
+        tracer = self.tracer
+        if tracer is not None and not tracer.active:
+            tracer = None  # unsampled tracing: keep the fast loop
         if self.validate:
             set_time = ledger.set_time
             check = cache.check_invariants
             name = self.policy.name
             for page, level in zip(pages.tolist(), levels.tolist()):
                 set_time(t)
-                if serves(page, level):
+                hit = serves(page, level)
+                if hit:
                     hits += 1
+                if tracer is not None:
+                    tracer.request(t, page, level, hit)
                 serve(t, page, level)
                 if not serves(page, level):
                     raise CacheInvariantError(
@@ -90,6 +145,17 @@ class ShardEngine:
                         f"level={level}) unserved on shard {self.shard_id}"
                     )
                 check()
+                t += 1
+        elif tracer is not None:
+            set_time = ledger.set_time
+            trace_request = tracer.request
+            for page, level in zip(pages.tolist(), levels.tolist()):
+                set_time(t)
+                hit = serves(page, level)
+                if hit:
+                    hits += 1
+                trace_request(t, page, level, hit)
+                serve(t, page, level)
                 t += 1
         else:
             for page, level in zip(pages.tolist(), levels.tolist()):
@@ -102,7 +168,13 @@ class ShardEngine:
         ledger.n_hits += hits
         ledger.n_misses += n - hits
         self.n_batches += 1
-        self.latency.observe(perf_counter() - started)
+        elapsed = perf_counter() - started
+        self.latency.observe(elapsed)
+        self.profiler.record("evict", elapsed)
+        self._m_requests.inc(n)
+        self._m_hits.inc(hits)
+        self._m_misses.inc(n - hits)
+        self._m_batches.inc()
 
     def snapshot(self, *, queue_depth: int = 0) -> ShardSnapshot:
         """Point-in-time counters (queue depth is supplied by the server)."""
@@ -123,6 +195,7 @@ class ShardEngine:
             p50_ms=p50,
             p95_ms=p95,
             p99_ms=p99,
+            spans=self.profiler.stats(),
         )
 
     def __repr__(self) -> str:

@@ -1,28 +1,35 @@
 """Observability for the paging service.
 
-Three layers:
+Four layers, all backed by :mod:`repro.obs`:
 
 * :class:`ServiceLedger` — a :class:`~repro.core.ledger.CostLedger` that
-  additionally buckets eviction counts and cost per level, so a snapshot can
-  report where the cost of a multi-level shard is going.
+  additionally buckets eviction counts and cost per level and mirrors them
+  into a metrics registry (``repro_evictions_total`` /
+  ``repro_eviction_cost_total``, labeled by shard and level).
 * :class:`LatencyHistogram` — a bounded window of recent batch service
-  times; percentiles are computed over the window at snapshot time.
+  times; percentiles are computed over the window at snapshot time, and
+  each observation can feed a registry histogram for exposition.
 * :class:`ShardSnapshot` / :class:`ServiceSnapshot` — immutable point-in-time
-  views rendered through the repo-standard :class:`~repro.analysis.Table`.
+  views rendered through the repo-standard :class:`~repro.analysis.Table`,
+  now carrying per-phase :class:`~repro.obs.SpanStats` from the profilers.
 
 All counters are monotonic over the service's lifetime; snapshots are cheap
 (one dict copy per shard) and safe to take while the service is running
-because engines only ever *add* to their ledgers.
+because engines only ever *add* to their ledgers.  Pass no registry (the
+default) and every metrics call hits the shared no-op sink.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.tables import Table
 from repro.core.ledger import CostLedger
+from repro.obs.registry import NULL_METRIC, MetricsRegistry, null_registry
+from repro.obs.spans import SpanStats, merge_span_stats
 
 __all__ = [
     "ServiceLedger",
@@ -33,20 +40,70 @@ __all__ = [
 
 
 class ServiceLedger(CostLedger):
-    """Cost ledger with per-level eviction breakdowns for serving metrics."""
+    """Cost ledger with per-level eviction breakdowns for serving metrics.
 
-    __slots__ = ("cost_by_level", "evictions_by_level")
+    When constructed with a real :class:`~repro.obs.MetricsRegistry`, each
+    eviction also increments the shard/level-labeled exposition counters;
+    with the default null registry those calls are no-ops.
+    """
 
-    def __init__(self, *, record_events: bool = False) -> None:
+    __slots__ = ("cost_by_level", "evictions_by_level", "_shard",
+                 "_m_evictions", "_m_cost", "_level_children")
+
+    def __init__(self, *, record_events: bool = False,
+                 registry: MetricsRegistry | None = None,
+                 shard: int | str = "") -> None:
         super().__init__(record_events=record_events)
         self.cost_by_level: dict[int, float] = {}
         self.evictions_by_level: dict[int, int] = {}
+        reg = registry if registry is not None else null_registry()
+        self._shard = str(shard)
+        self._m_evictions = reg.counter(
+            "repro_evictions_total", "Evictions charged to this ledger",
+            ("shard", "level"),
+        )
+        self._m_cost = reg.counter(
+            "repro_eviction_cost_total",
+            "Total eviction cost (the paper's objective)",
+            ("shard", "level"),
+        )
+        # level -> (evictions child, cost child); caches the labels() lookup
+        # so the per-eviction registry work is one dict hit + two incs.
+        self._level_children: dict[int, tuple] = {}
 
     def charge_eviction(self, page: int, level: int, cost: float,
                         reason: str = "") -> None:
         super().charge_eviction(page, level, cost, reason)
         self.cost_by_level[level] = self.cost_by_level.get(level, 0.0) + cost
         self.evictions_by_level[level] = self.evictions_by_level.get(level, 0) + 1
+        children = self._level_children.get(level)
+        if children is None:
+            lv = str(level)
+            children = (self._m_evictions.labels(self._shard, lv),
+                        self._m_cost.labels(self._shard, lv))
+            self._level_children[level] = children
+        children[0].inc()
+        children[1].inc(cost)
+
+    def merge(self, other: CostLedger) -> None:
+        """Fold another ledger into this one, keeping per-level totals.
+
+        :meth:`CostLedger.merge` only knows the base counters; merging
+        shard ledgers through it would silently drop ``cost_by_level`` /
+        ``evictions_by_level``, so the per-level dicts are folded here.
+        Exposition counters are *not* re-charged — the source ledger
+        already published its evictions to the registry.
+        """
+        super().merge(other)
+        if isinstance(other, ServiceLedger):
+            for level, cost in other.cost_by_level.items():
+                self.cost_by_level[level] = (
+                    self.cost_by_level.get(level, 0.0) + cost
+                )
+            for level, n in other.evictions_by_level.items():
+                self.evictions_by_level[level] = (
+                    self.evictions_by_level.get(level, 0) + n
+                )
 
 
 class LatencyHistogram:
@@ -54,12 +111,15 @@ class LatencyHistogram:
 
     The window keeps the most recent ``window`` observations; the total
     count and sum are monotonic so mean throughput can still be derived
-    after old samples rotate out.
+    after old samples rotate out.  ``metric`` (a registry histogram child)
+    additionally receives every observation for exposition; the default is
+    the shared no-op sink.
     """
 
-    __slots__ = ("_window", "_samples", "_pos", "count", "total_seconds")
+    __slots__ = ("_window", "_samples", "_pos", "count", "total_seconds",
+                 "_metric")
 
-    def __init__(self, window: int = 4096) -> None:
+    def __init__(self, window: int = 4096, *, metric=NULL_METRIC) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self._window = window
@@ -67,29 +127,38 @@ class LatencyHistogram:
         self._pos = 0
         self.count = 0
         self.total_seconds = 0.0
+        self._metric = metric
 
     def observe(self, seconds: float) -> None:
         """Record one service-time observation."""
         self.count += 1
         self.total_seconds += seconds
+        self._metric.observe(seconds)
         if len(self._samples) < self._window:
             self._samples.append(seconds)
         else:
             self._samples[self._pos] = seconds
             self._pos = (self._pos + 1) % self._window
 
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) over the window, in seconds."""
-        if not self._samples:
-            return 0.0
-        return float(np.percentile(np.asarray(self._samples), q))
+    def percentiles(self, qs: Sequence[float]) -> tuple[float, ...]:
+        """Percentiles (0-100) over the window, in seconds.
 
-    def percentiles_ms(self, qs=(50.0, 95.0, 99.0)) -> tuple[float, ...]:
-        """Several percentiles at once, converted to milliseconds."""
+        The single computation path behind every percentile query: the
+        window is order-insensitive for percentiles, so the rotating ring
+        is handed to numpy as-is.
+        """
         if not self._samples:
             return tuple(0.0 for _ in qs)
         arr = np.asarray(self._samples)
-        return tuple(float(v) * 1e3 for v in np.percentile(arr, list(qs)))
+        return tuple(float(v) for v in np.percentile(arr, list(qs)))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) over the window, in seconds."""
+        return self.percentiles((q,))[0]
+
+    def percentiles_ms(self, qs=(50.0, 95.0, 99.0)) -> tuple[float, ...]:
+        """Several percentiles at once, converted to milliseconds."""
+        return tuple(v * 1e3 for v in self.percentiles(qs))
 
 
 @dataclass(frozen=True)
@@ -110,6 +179,7 @@ class ShardSnapshot:
     p50_ms: float = 0.0
     p95_ms: float = 0.0
     p99_ms: float = 0.0
+    spans: dict[str, SpanStats] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -124,6 +194,7 @@ class ServiceSnapshot:
     shards: tuple[ShardSnapshot, ...]
     n_overloaded: int = 0
     n_submitted_batches: int = 0
+    spans: dict[str, SpanStats] = field(default_factory=dict)
 
     # -- aggregates --------------------------------------------------------
     @property
@@ -160,23 +231,34 @@ class ServiceSnapshot:
                 merged[level] = merged.get(level, 0.0) + cost
         return dict(sorted(merged.items()))
 
+    def merged_spans(self) -> dict[str, SpanStats]:
+        """Service-level spans plus per-shard spans folded together."""
+        return merge_span_stats(self.spans, *(s.spans for s in self.shards))
+
     # -- rendering ---------------------------------------------------------
-    def table(self, *, include_latency: bool = True) -> Table:
+    def table(self, *, include_latency: bool = True,
+              include_spans: bool = False) -> Table:
         """Per-shard counter table plus a totals row.
 
         ``include_latency=False`` drops the (timing-dependent) percentile
-        columns so the rendering is bit-deterministic for golden tests.
+        columns so the rendering is bit-deterministic for golden tests;
+        ``include_spans=True`` adds each shard's ``evict`` span total.
         """
         columns = ["shard", "k", "requests", "hits", "misses",
                    "evictions", "evict cost", "hit rate"]
         if include_latency:
             columns += ["batches", "p50 ms", "p95 ms", "p99 ms"]
+        if include_spans:
+            columns += ["evict s"]
         table = Table(columns, title="service snapshot")
         for s in self.shards:
             row = [s.shard, s.cache_size, s.n_requests, s.n_hits, s.n_misses,
                    s.n_evictions, s.eviction_cost, s.hit_rate]
             if include_latency:
                 row += [s.n_batches, s.p50_ms, s.p95_ms, s.p99_ms]
+            if include_spans:
+                evict = s.spans.get("evict")
+                row += [evict.total_s if evict else 0.0]
             table.add_row(*row)
         total_row = ["total", sum(s.cache_size for s in self.shards),
                      self.n_requests, self.n_hits, self.n_misses,
@@ -184,10 +266,33 @@ class ServiceSnapshot:
                      self.eviction_cost, self.hit_rate]
         if include_latency:
             total_row += [self.n_submitted_batches, "", "", ""]
+        if include_spans:
+            merged_evict = self.merged_spans().get("evict")
+            total_row += [merged_evict.total_s if merged_evict else 0.0]
         table.add_row(*total_row)
         return table
 
-    def render(self, *, include_latency: bool = True) -> str:
-        """Rendered counter table plus the overload line."""
-        text = self.table(include_latency=include_latency).render()
-        return text + f"overloaded batches: {self.n_overloaded}\n"
+    def phase_table(self) -> Table:
+        """Per-phase span aggregates (service + shards merged)."""
+        table = Table(["phase", "count", "total s", "mean ms", "max ms"],
+                      title="phase spans")
+        for name, s in self.merged_spans().items():
+            table.add_row(name, s.n, s.total_s, s.mean_ms, 1e3 * s.max_s)
+        return table
+
+    def render(self, *, include_latency: bool = True,
+               include_spans: bool | None = None) -> str:
+        """Rendered counter table, the overload line, and (optionally) spans.
+
+        ``include_spans`` defaults to ``include_latency`` — both carry
+        timing-dependent values, so the deterministic golden-test mode
+        (``include_latency=False``) keeps excluding them.
+        """
+        if include_spans is None:
+            include_spans = include_latency
+        text = self.table(include_latency=include_latency,
+                          include_spans=include_spans).render()
+        text += f"overloaded batches: {self.n_overloaded}\n"
+        if include_spans and self.merged_spans():
+            text += "\n" + self.phase_table().render()
+        return text

@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import queue as _queue
 import threading
+from pathlib import Path
 from time import monotonic, sleep
 
 import numpy as np
 
 from repro.errors import ServiceStateError
+from repro.obs.registry import null_registry
+from repro.obs.spans import PhaseProfiler
+from repro.obs.tracer import DecisionTracer
 from repro.service.config import ServiceConfig
 from repro.service.engine import ShardEngine
 from repro.service.ingest import BatchTicket, MicroBatcher, Overloaded
@@ -42,15 +46,27 @@ class PagingService:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
+        self.registry = (config.metrics_registry
+                         if config.metrics_registry is not None
+                         else null_registry())
         self.router = ShardRouter(config.n_shards)
         seeds = spawn_seeds(config.seed, config.n_shards)
         self.engines = [
             ShardEngine(
                 i, inst, config.policy_factory(), np.random.default_rng(seed),
                 validate=config.validate, latency_window=config.latency_window,
+                registry=self.registry,
             )
             for i, (inst, seed) in enumerate(zip(config.shard_instances(), seeds))
         ]
+        self.profiler = PhaseProfiler()
+        self._tracers: list[DecisionTracer] = []
+        self._m_overloaded = self.registry.counter(
+            "repro_overloaded_total", "Batch submissions rejected for backpressure"
+        )
+        self._m_queue_depth = self.registry.gauge(
+            "repro_queue_depth", "Pending batches per shard queue", ("shard",)
+        )
         self._queues: list[_queue.Queue] = []
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -100,6 +116,8 @@ class PagingService:
         else:
             self._flush_pending(timeout)
         self._stopped = True
+        for tracer in self._tracers:
+            tracer.close()
         self._raise_pending()
 
     def __enter__(self) -> "PagingService":
@@ -128,39 +146,45 @@ class PagingService:
         mode the batch is accepted only if *every* target shard queue has
         room — all-or-nothing, so a rejected batch leaves no partial state
         anywhere and can be retried verbatim.
+
+        The whole submission is timed under the ``ingest`` span (in inline
+        mode that includes serving) and the shard split under ``route``.
         """
         self._raise_pending()
         if self._stopped:
             raise ServiceStateError("cannot submit to a stopped service")
-        pages = np.ascontiguousarray(pages, dtype=np.int64)
-        if levels is None:
-            levels = np.ones_like(pages)
-        else:
-            levels = np.ascontiguousarray(levels, dtype=np.int64)
-        self.config.instance.validate_sequence(pages, levels)
-        parts = [
-            (shard, p, lv)
-            for shard, (p, lv) in enumerate(self.router.split(pages, levels))
-            if p.size
-        ]
-        if not self._started:
-            ticket = BatchTicket(len(parts), int(pages.size))
-            for shard, p, lv in parts:
-                self.engines[shard].process_batch(p, lv)
-                ticket.part_done()
-            self._n_batches += 1
+        with self.profiler.span("ingest"):
+            pages = np.ascontiguousarray(pages, dtype=np.int64)
+            if levels is None:
+                levels = np.ones_like(pages)
+            else:
+                levels = np.ascontiguousarray(levels, dtype=np.int64)
+            self.config.instance.validate_sequence(pages, levels)
+            with self.profiler.span("route"):
+                parts = [
+                    (shard, p, lv)
+                    for shard, (p, lv) in enumerate(self.router.split(pages, levels))
+                    if p.size
+                ]
+            if not self._started:
+                ticket = BatchTicket(len(parts), int(pages.size))
+                for shard, p, lv in parts:
+                    self.engines[shard].process_batch(p, lv)
+                    ticket.part_done()
+                self._n_batches += 1
+                return ticket
+            with self._lock:
+                for shard, _, _ in parts:
+                    if self._queues[shard].full():
+                        self._n_overloaded += 1
+                        self._m_overloaded.inc()
+                        return Overloaded(shard, self.config.queue_depth)
+                ticket = BatchTicket(len(parts), int(pages.size))
+                self._inflight += len(parts)
+                for shard, p, lv in parts:
+                    self._queues[shard].put((ticket, p, lv))
+                self._n_batches += 1
             return ticket
-        with self._lock:
-            for shard, _, _ in parts:
-                if self._queues[shard].full():
-                    self._n_overloaded += 1
-                    return Overloaded(shard, self.config.queue_depth)
-            ticket = BatchTicket(len(parts), int(pages.size))
-            self._inflight += len(parts)
-            for shard, p, lv in parts:
-                self._queues[shard].put((ticket, p, lv))
-            self._n_batches += 1
-        return ticket
 
     def drain(self, timeout: float | None = None) -> bool:
         """Flush the micro-batcher and wait until all queued work is served.
@@ -229,18 +253,67 @@ class PagingService:
         """Total eviction cost across all shards (the paper's objective)."""
         return sum(e.ledger.eviction_cost for e in self.engines)
 
+    def enable_tracing(
+        self,
+        directory,
+        *,
+        sample: float = 1.0,
+        seed: int = 0,
+        max_events: int = 1_000_000,
+    ) -> list[Path]:
+        """Attach one :class:`~repro.obs.DecisionTracer` per shard.
+
+        Writes ``shard-<i>.jsonl`` files under ``directory`` (created if
+        missing).  Events are keyed to each shard's *logical* clock and the
+        sampling decision is a pure function of ``(seed, t)``, so inline
+        and threaded runs of the same workload produce byte-identical
+        per-shard traces.  Traces are closed by :meth:`stop`.
+
+        Must be called before any traffic (the traced loop needs to see
+        every request of a sampled shard clock from t = 0).
+        """
+        if self._stopped:
+            raise ServiceStateError("service already stopped")
+        if self._tracers:
+            raise ServiceStateError("tracing already enabled")
+        if any(e.n_requests for e in self.engines):
+            raise ServiceStateError(
+                "enable_tracing must be called before any traffic"
+            )
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: list[Path] = []
+        for engine in self.engines:
+            path = directory / f"shard-{engine.shard_id}.jsonl"
+            tracer = DecisionTracer(
+                path, sample=sample, seed=seed, max_events=max_events,
+                source=f"shard-{engine.shard_id}",
+            )
+            engine.set_tracer(tracer)
+            self._tracers.append(tracer)
+            paths.append(path)
+        return paths
+
     def snapshot(self) -> ServiceSnapshot:
         """Point-in-time counters for every shard plus ingest totals."""
-        depths = (
-            [q.qsize() for q in self._queues] if self._started
-            else [0] * len(self.engines)
-        )
+        with self.profiler.span("snapshot"):
+            depths = (
+                [q.qsize() for q in self._queues] if self._started
+                else [0] * len(self.engines)
+            )
+            for shard, depth in enumerate(depths):
+                self._m_queue_depth.labels(str(shard)).set(depth)
+            shards = tuple(
+                e.snapshot(queue_depth=d)
+                for e, d in zip(self.engines, depths)
+            )
+        # Spans are read after the snapshot span closes, so even the first
+        # snapshot reports its own timing.
         return ServiceSnapshot(
-            shards=tuple(
-                e.snapshot(queue_depth=d) for e, d in zip(self.engines, depths)
-            ),
+            shards=shards,
             n_overloaded=self._n_overloaded,
             n_submitted_batches=self._n_batches,
+            spans=self.profiler.stats(),
         )
 
     def __repr__(self) -> str:

@@ -38,12 +38,19 @@ def simulate(
     seed: int | np.random.Generator | None = None,
     record_events: bool = False,
     validate: bool = True,
+    tracer=None,
 ) -> RunResult:
     """Run ``policy`` over ``seq`` on ``instance`` from an empty cache.
 
     Returns a :class:`~repro.sim.metrics.RunResult` with the eviction cost
     (the paper's objective), hit statistics and, optionally, the full
     eviction event log.
+
+    ``tracer`` is an optional :class:`repro.obs.DecisionTracer`: sampled
+    requests, their evictions and (for policies that expose them) the
+    candidate sets are written to its JSONL sink.  A tracer whose sample
+    rate is 0 never activates the traced loop, so attaching one costs
+    nothing on the ``validate=False`` fast path.
     """
     instance.validate_sequence(seq.pages, seq.levels)
     ledger = CostLedger(record_events=record_events)
@@ -60,7 +67,36 @@ def simulate(
     # timestamps are only maintained when the event log needs them.
     serves = cache.serves
     serve = policy.serve
-    if validate:
+    if tracer is not None and tracer.active:
+        # Traced loop: the tracer samples per request index; the ledger and
+        # policy get the tracer attached so eviction / candidate events
+        # follow their request's sampling decision.
+        ledger.tracer = tracer
+        policy.tracer = tracer
+        set_time = ledger.set_time
+        trace_request = tracer.request
+        hits = 0
+        try:
+            for t, (page, level) in enumerate(zip(pages, levels)):
+                set_time(t)
+                hit = serves(page, level)
+                if hit:
+                    hits += 1
+                trace_request(t, page, level, hit)
+                serve(t, page, level)
+                if validate:
+                    if not serves(page, level):
+                        raise CacheInvariantError(
+                            f"policy {policy.name!r} left request t={t} "
+                            f"(page={page}, level={level}) unserved"
+                        )
+                    cache.check_invariants()
+        finally:
+            ledger.tracer = None
+            policy.tracer = None
+        ledger.n_hits += hits
+        ledger.n_misses += len(pages) - hits
+    elif validate:
         set_time = ledger.set_time
         count_hit = ledger.count_hit
         count_miss = ledger.count_miss

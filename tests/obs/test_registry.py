@@ -1,0 +1,144 @@
+"""Metric families, label children, exposition format, no-op registry."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRIC,
+    MetricsRegistry,
+    NullMetric,
+    get_registry,
+    null_registry,
+    set_registry,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help").labels()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counters_only_go_up(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("repro_test_total").labels().inc(-1.0)
+
+    def test_labeled_children_are_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_requests_total", "", ("shard",))
+        fam.labels("0").inc(3)
+        fam.labels("1").inc(5)
+        assert fam.labels("0").value == 3
+        assert fam.labels("1").value == 5
+
+    def test_labels_stringify_values(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_requests_total", "", ("shard",))
+        assert fam.labels(3) is fam.labels("3")
+
+    def test_label_arity_enforced(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_requests_total", "", ("shard",))
+        with pytest.raises(ValueError):
+            fam.labels()
+        with pytest.raises(ValueError):
+            fam.labels("0", "1")
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_depth").labels()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == pytest.approx(7.0)
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds", "",
+                          buckets=(0.1, 1.0)).labels()
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "", ("shard",))
+        b = reg.counter("repro_x_total", "", ("shard",))
+        assert a is b
+
+    def test_conflicting_reregistration_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total")
+        reg.counter("repro_y_total", "", ("shard",))
+        with pytest.raises(ValueError):
+            reg.counter("repro_y_total", "", ("level",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("0bad")
+        with pytest.raises(ValueError):
+            reg.counter("repro_ok_total", "", ("bad-label",))
+
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_requests_total", "Requests served", ("shard",))
+        fam.labels("0").inc(7)
+        reg.gauge("repro_depth", "Queue depth").labels().set(3)
+        text = reg.render()
+        assert "# HELP repro_requests_total Requests served" in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{shard="0"} 7' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 3" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds", "lat", buckets=(0.1, 1.0))
+        h.labels().observe(0.5)
+        text = reg.render()
+        assert 'repro_lat_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_seconds_sum 0.5" in text
+        assert "repro_lat_seconds_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestNullPath:
+    def test_null_registry_absorbs_everything(self):
+        reg = null_registry()
+        fam = reg.counter("anything", "", ("a", "b"))
+        assert isinstance(fam, NullMetric)
+        # Chained calls are all no-ops, whatever the arity.
+        fam.labels("x").inc()
+        fam.labels().observe(1.0)
+        fam.set(5)
+        assert reg.render() == ""
+        assert reg.families() == []
+
+    def test_null_metric_is_shared(self):
+        reg = null_registry()
+        assert reg.counter("a") is NULL_METRIC
+        assert reg.histogram("b").labels() is NULL_METRIC
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        old = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(old)
+        assert get_registry() is old

@@ -1,0 +1,88 @@
+"""Phase profiler: span accounting, merging, reuse."""
+
+import pytest
+
+from repro.obs import PhaseProfiler, SpanStats, merge_span_stats
+
+
+class TestPhaseProfiler:
+    def test_record_accumulates(self):
+        p = PhaseProfiler()
+        p.record("ingest", 0.5)
+        p.record("ingest", 1.5)
+        p.record("route", 0.1)
+        stats = p.stats()
+        assert stats["ingest"].n == 2
+        assert stats["ingest"].total_s == pytest.approx(2.0)
+        assert stats["ingest"].max_s == pytest.approx(1.5)
+        assert stats["ingest"].mean_ms == pytest.approx(1000.0)
+        assert stats["route"].n == 1
+
+    def test_span_context_manager_times(self):
+        p = PhaseProfiler()
+        with p.span("evict"):
+            pass
+        with p.span("evict"):
+            pass
+        stats = p.stats()
+        assert stats["evict"].n == 2
+        assert stats["evict"].total_s >= 0.0
+        assert stats["evict"].max_s <= stats["evict"].total_s
+
+    def test_span_objects_are_reused(self):
+        p = PhaseProfiler()
+        assert p.span("a") is p.span("a")
+        assert p.span("a") is not p.span("b")
+
+    def test_nested_different_spans(self):
+        p = PhaseProfiler()
+        with p.span("outer"):
+            with p.span("inner"):
+                pass
+        stats = p.stats()
+        assert stats["outer"].n == 1 and stats["inner"].n == 1
+        assert stats["outer"].total_s >= stats["inner"].total_s
+
+    def test_merge_folds_counts_and_max(self):
+        a, b = PhaseProfiler(), PhaseProfiler()
+        a.record("x", 1.0)
+        b.record("x", 3.0)
+        b.record("y", 0.5)
+        a.merge(b)
+        stats = a.stats()
+        assert stats["x"].n == 2
+        assert stats["x"].total_s == pytest.approx(4.0)
+        assert stats["x"].max_s == pytest.approx(3.0)
+        assert stats["y"].n == 1
+        # The source profiler is untouched.
+        assert b.stats()["x"].n == 1
+
+    def test_clear_keeps_spans_usable(self):
+        p = PhaseProfiler()
+        with p.span("a"):
+            pass
+        p.clear()
+        assert p.stats() == {}
+        with p.span("a"):
+            pass
+        assert p.stats()["a"].n == 1
+
+    def test_empty_stats_mean(self):
+        s = SpanStats("x", 0, 0.0, 0.0)
+        assert s.mean_ms == 0.0
+
+
+class TestMergeSpanStats:
+    def test_merges_and_sorts_by_name(self):
+        m1 = {"b": SpanStats("b", 1, 1.0, 1.0)}
+        m2 = {"a": SpanStats("a", 2, 0.5, 0.4),
+              "b": SpanStats("b", 3, 2.0, 1.5)}
+        merged = merge_span_stats(m1, m2)
+        assert list(merged) == ["a", "b"]
+        assert merged["b"].n == 4
+        assert merged["b"].total_s == pytest.approx(3.0)
+        assert merged["b"].max_s == pytest.approx(1.5)
+
+    def test_empty_input(self):
+        assert merge_span_stats() == {}
+        assert merge_span_stats({}, {}) == {}

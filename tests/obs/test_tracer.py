@@ -1,0 +1,245 @@
+"""Decision tracer: sampling determinism, schema, bounds, replay."""
+
+import json
+
+import pytest
+
+from repro.algorithms import LRUPolicy, WaterFillingPolicy
+from repro.core.instance import WeightedPagingInstance
+from repro.obs import (
+    TRACE_VERSION,
+    DecisionTracer,
+    read_trace,
+    replay_trace,
+    validate_trace,
+)
+from repro.sim import simulate
+from repro.workloads import sample_weights, zipf_stream
+
+
+def make_workload(n=32, k=8, length=1200):
+    inst = WeightedPagingInstance(k, sample_weights(n, rng=0, high=16.0))
+    seq = zipf_stream(n, length, alpha=0.9, rng=2)
+    return inst, seq
+
+
+class TestSampling:
+    def test_sample_zero_never_active(self, tmp_path):
+        with DecisionTracer(tmp_path / "t.jsonl", sample=0.0) as tracer:
+            assert not tracer.active
+            assert not tracer.want(0) and not tracer.want(12345)
+
+    def test_sample_one_takes_everything(self, tmp_path):
+        with DecisionTracer(tmp_path / "t.jsonl", sample=1.0) as tracer:
+            assert all(tracer.want(t) for t in range(1000))
+
+    def test_want_is_pure_in_seed_and_t(self, tmp_path):
+        a = DecisionTracer(tmp_path / "a.jsonl", sample=0.3, seed=7)
+        b = DecisionTracer(tmp_path / "b.jsonl", sample=0.3, seed=7)
+        c = DecisionTracer(tmp_path / "c.jsonl", sample=0.3, seed=8)
+        decisions_a = [a.want(t) for t in range(2000)]
+        assert decisions_a == [b.want(t) for t in range(2000)]
+        assert decisions_a != [c.want(t) for t in range(2000)]
+        # The sampled fraction tracks the rate.
+        frac = sum(decisions_a) / 2000
+        assert 0.2 < frac < 0.4
+        for tr in (a, b, c):
+            tr.close()
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DecisionTracer(tmp_path / "t.jsonl", sample=1.5)
+        with pytest.raises(ValueError):
+            DecisionTracer(tmp_path / "t.jsonl", max_events=-1)
+
+
+class TestEventStream:
+    def test_meta_first_end_last(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0, seed=0, source="test") as tracer:
+            tracer.request(0, 5, 1, False)
+            tracer.eviction(0, 9, 1, 2.5, "capacity")
+        events = list(read_trace(path))
+        assert events[0]["ev"] == "meta"
+        assert events[0]["v"] == TRACE_VERSION
+        assert events[0]["source"] == "test"
+        assert events[-1] == {"ev": "end", "n_written": 2, "n_dropped": 0,
+                              "n_requests": 1}
+
+    def test_unsampled_request_suppresses_followers(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=0.0) as tracer:
+            tracer.request(0, 5, 1, False)
+            tracer.eviction(0, 9, 1, 2.5, "capacity")
+            tracer.candidates(0, [(9, 1, 0.5)])
+        events = list(read_trace(path))
+        assert [e["ev"] for e in events] == ["meta", "end"]
+
+    def test_max_events_bounds_the_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0, max_events=5) as tracer:
+            for t in range(20):
+                tracer.request(t, t, 1, False)
+        events = list(read_trace(path))
+        assert len(events) == 7  # meta + 5 body + end
+        assert events[-1]["n_written"] == 5
+        assert events[-1]["n_dropped"] == 15
+        assert validate_trace(path).ok
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = DecisionTracer(path, sample=1.0)
+        tracer.close()
+        tracer.close()
+        assert sum(1 for e in read_trace(path) if e["ev"] == "end") == 1
+
+
+class TestValidation:
+    def test_valid_trace_passes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0) as tracer:
+            tracer.request(0, 1, 1, True)
+        report = validate_trace(path)
+        assert report.ok
+        assert report.n_by_type == {"meta": 1, "req": 1, "end": 1}
+        assert "OK" in report.render()
+
+    def test_detects_garbage_and_unknown_events(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"ev":"meta","v":1,"sample":1.0,"seed":0,"source":""}\n'
+            "not json\n"
+            '{"ev":"martian","t":0}\n'
+            '{"ev":"req","t":0,"page":1,"level":"one","hit":true}\n'
+            '{"ev":"end","n_written":1,"n_dropped":0,"n_requests":1}\n'
+        )
+        report = validate_trace(path)
+        assert not report.ok
+        text = report.render()
+        assert "invalid JSON" in text
+        assert "unknown event type" in text
+        assert "req.level" in text
+
+    def test_detects_truncation_and_count_mismatch(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text(
+            '{"ev":"meta","v":1,"sample":1.0,"seed":0,"source":""}\n'
+            '{"ev":"req","t":0,"page":1,"level":1,"hit":true}\n'
+        )
+        assert any("end record" in e for e in validate_trace(path).errors)
+        path.write_text(
+            '{"ev":"meta","v":1,"sample":1.0,"seed":0,"source":""}\n'
+            '{"ev":"req","t":0,"page":1,"level":1,"hit":true}\n'
+            '{"ev":"end","n_written":5,"n_dropped":0,"n_requests":1}\n'
+        )
+        assert any("n_written" in e for e in validate_trace(path).errors)
+
+    def test_bool_not_accepted_for_int_fields(self, tmp_path):
+        path = tmp_path / "bool.jsonl"
+        path.write_text(
+            '{"ev":"meta","v":1,"sample":1.0,"seed":0,"source":""}\n'
+            '{"ev":"req","t":true,"page":1,"level":1,"hit":true}\n'
+            '{"ev":"end","n_written":1,"n_dropped":0,"n_requests":1}\n'
+        )
+        assert any("req.t" in e for e in validate_trace(path).errors)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert not validate_trace(path).ok
+
+
+class TestSimulatorIntegration:
+    def test_traced_run_matches_untraced_cost(self, tmp_path):
+        inst, seq = make_workload()
+        ref = simulate(inst, seq, WaterFillingPolicy(), seed=0)
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=0.5, seed=3) as tracer:
+            traced = simulate(inst, seq, WaterFillingPolicy(), seed=0,
+                              tracer=tracer)
+        assert traced.cost == pytest.approx(ref.cost)
+        assert traced.n_hits == ref.n_hits
+        assert validate_trace(path).ok
+
+    def test_simulate_is_byte_deterministic(self, tmp_path):
+        inst, seq = make_workload()
+        blobs = []
+        for run in range(2):
+            path = tmp_path / f"run{run}.jsonl"
+            with DecisionTracer(path, sample=0.4, seed=9) as tracer:
+                simulate(inst, seq, WaterFillingPolicy(), seed=0,
+                         tracer=tracer)
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_tracer_detached_after_simulate(self, tmp_path):
+        inst, seq = make_workload(length=100)
+        policy = WaterFillingPolicy()
+        with DecisionTracer(tmp_path / "t.jsonl", sample=1.0) as tracer:
+            simulate(inst, seq, policy, seed=0, tracer=tracer)
+        assert policy.tracer is None
+
+    def test_candidate_sets_recorded_for_waterfilling(self, tmp_path):
+        inst, seq = make_workload()
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0) as tracer:
+            simulate(inst, seq, WaterFillingPolicy(), seed=0, tracer=tracer)
+        n_cands = n_evicts = 0
+        last = None  # (t, candidate pages) of the most recent cand event
+        # Events arrive in decision order: each eviction's victim must be
+        # a member of the candidate set recorded just before the choice.
+        for e in read_trace(path):
+            if e["ev"] == "cand":
+                n_cands += 1
+                assert all(len(c) == 3 for c in e["cands"])
+                last = (e["t"], [c[0] for c in e["cands"]])
+            elif e["ev"] == "evict":
+                n_evicts += 1
+                assert last is not None
+                assert e["t"] == last[0]
+                assert e["page"] in last[1]
+        assert n_cands and n_evicts
+
+    def test_lru_traces_without_candidates(self, tmp_path):
+        # Policies that don't expose candidate sets still trace req/evict.
+        inst, seq = make_workload()
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0) as tracer:
+            simulate(inst, seq, LRUPolicy(), seed=0, tracer=tracer)
+        kinds = {e["ev"] for e in read_trace(path)}
+        assert "req" in kinds and "evict" in kinds
+        assert "cand" not in kinds
+        assert validate_trace(path).ok
+
+
+class TestReplay:
+    def test_replay_totals_match_full_sample_run(self, tmp_path):
+        inst, seq = make_workload()
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0) as tracer:
+            ref = simulate(inst, seq, WaterFillingPolicy(), seed=0,
+                           tracer=tracer)
+        summary = replay_trace(path)
+        assert summary.n_requests == len(seq)
+        assert summary.n_hits == ref.n_hits
+        assert summary.n_evictions == ref.n_evictions
+        assert summary.total_cost == pytest.approx(ref.cost)
+        assert sum(s.requests for s in summary.per_page.values()) == len(seq)
+
+    def test_replay_render_contains_tables(self, tmp_path):
+        inst, seq = make_workload()
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0) as tracer:
+            simulate(inst, seq, WaterFillingPolicy(), seed=0, tracer=tracer)
+        text = replay_trace(path).render(top=5)
+        assert "per-level" in text
+        assert "top 5 pages" in text
+        assert "sampled requests" in text
+
+    def test_events_use_compact_separators(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with DecisionTracer(path, sample=1.0) as tracer:
+            tracer.request(0, 1, 1, True)
+        for line in path.read_text().splitlines():
+            assert ": " not in line and ", " not in line
+            json.loads(line)

@@ -194,3 +194,86 @@ class TestLoadgenCommand:
     def test_loadgen_unknown_policy_rejected(self, capsys):
         rc = main(["loadgen", "--policy", "nonsense"])
         assert rc == 2
+
+
+class TestTraceCommands:
+    def _write_trace(self, path, capsys):
+        rc = main([
+            "run", "--policies", "waterfilling", "--n-pages", "16",
+            "--cache-size", "4", "--requests", "400", "--trace", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traced" in out
+        assert "trace written to" in out
+        return path
+
+    def test_run_trace_then_validate_and_replay(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path / "run.jsonl", capsys)
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert main(["trace", "replay", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per-level" in out
+        assert "top 3 pages" in out
+
+    def test_run_trace_sampled(self, tmp_path, capsys):
+        rc = main([
+            "run", "--policies", "lru", "--n-pages", "16", "--cache-size", "4",
+            "--requests", "400", "--trace", str(tmp_path / "s.jsonl"),
+            "--trace-sample", "0.25",
+        ])
+        assert rc == 0
+        assert main(["trace", "validate", str(tmp_path / "s.jsonl")]) == 0
+
+    def test_run_trace_requires_single_policy_and_seed(self, tmp_path, capsys):
+        rc = main([
+            "run", "--policies", "lru,landlord", "--requests", "100",
+            "--trace", str(tmp_path / "t.jsonl"),
+        ])
+        assert rc == 2
+        assert "single policy" in capsys.readouterr().err
+        rc = main([
+            "run", "--policies", "lru", "--seeds", "3", "--requests", "100",
+            "--trace", str(tmp_path / "t.jsonl"),
+        ])
+        assert rc == 2
+
+    def test_validate_flags_corrupt_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev":"req","t":0}\n')
+        assert main(["trace", "validate", str(path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "replay", str(tmp_path / "nope.jsonl")]) == 2
+
+
+class TestServeObservability:
+    def test_serve_with_metrics_port_and_trace_dir(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        rc = main([
+            "serve", "--k", "8", "--shards", "2", "--n-pages", "32",
+            "--requests", "1000", "--batch-size", "128",
+            "--metrics-port", "0", "--trace-dir", str(trace_dir),
+            "--trace-sample", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics exposed at http://127.0.0.1:" in out
+        assert "tracing 2 shard(s)" in out
+        assert "phase spans" in out
+        files = sorted(trace_dir.glob("shard-*.jsonl"))
+        assert len(files) == 2
+        for f in files:
+            assert main(["trace", "validate", str(f)]) == 0
+            capsys.readouterr()
+
+    def test_loadgen_with_metrics_port(self, capsys):
+        rc = main([
+            "loadgen", "--rate", "50000", "--k", "8", "--shards", "2",
+            "--n-pages", "32", "--requests", "1000", "--batch-size", "128",
+            "--metrics-port", "0",
+        ])
+        assert rc == 0
+        assert "metrics exposed at" in capsys.readouterr().out
