@@ -31,7 +31,9 @@ Examples
     python -m repro verify --n-pages 5 --cache-size 2 --levels 2
     python -m repro serve --policy waterfilling --k 64 --shards 4 \
         --metrics-port 9100 --trace-dir traces/
-    python -m repro loadgen --rate 100000 --shards 4
+    python -m repro serve --faults kill:0@600 --checkpoint-interval 500
+    python -m repro loadgen --rate 100000 --shards 4 --retry 5 \
+        --on-overload retry
 """
 
 from __future__ import annotations
@@ -169,8 +171,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_service_args(loadgen)
     loadgen.add_argument("--rate", type=float, default=100_000.0,
                          help="target request rate (req/s)")
-    loadgen.add_argument("--max-retries", type=int, default=3,
+    loadgen.add_argument("--max-retries", "--retry", dest="max_retries",
+                         type=int, default=3, metavar="N",
                          help="retries before an overloaded batch is dropped")
+    loadgen.add_argument("--retry-backoff", type=float, default=0.001,
+                         metavar="S",
+                         help="base backoff seconds (doubles per retry)")
+    loadgen.add_argument("--on-overload", choices=("retry", "shed"),
+                         default="retry",
+                         help="client policy for Overloaded rejections: "
+                              "retry with backoff, or shed immediately")
     return parser
 
 
@@ -202,6 +212,17 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         help="write per-shard JSONL decision traces here")
     parser.add_argument("--trace-sample", type=float, default=1.0,
                         help="fraction of requests to trace per shard")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject faults: comma-separated "
+                             "kind:shard@t[:delay_s] with kind in "
+                             "kill/delay/drop (e.g. kill:0@1000)")
+    parser.add_argument("--checkpoint-interval", type=int, default=0,
+                        metavar="N",
+                        help="checkpoint each shard every N requests and "
+                             "recover dead workers (0 disables recovery)")
+    parser.add_argument("--max-restarts", type=int, default=3, metavar="N",
+                        help="per-shard worker restart budget before the "
+                             "shard is marked failed")
 
 
 def _make_workload(args) -> tuple[MultiLevelInstance, object]:
@@ -417,6 +438,11 @@ def _make_service(args):
     inst, seq = _make_workload(args)
     registry = MetricsRegistry() if args.metrics_port is not None else None
     try:
+        fault_plan = None
+        if args.faults is not None:
+            from repro.faults import FaultPlan
+
+            fault_plan = FaultPlan.parse(args.faults)
         config = ServiceConfig.from_policy_name(
             args.policy, inst,
             n_shards=args.shards,
@@ -425,10 +451,17 @@ def _make_service(args):
             seed=args.master_seed,
             validate=args.validate,
             metrics_registry=registry,
+            fault_plan=fault_plan,
+            checkpoint_interval=args.checkpoint_interval,
+            max_restarts=args.max_restarts,
         )
     except ServiceConfigError as exc:
         print(str(exc), file=sys.stderr)
         return None, None
+    if fault_plan is not None:
+        print(f"fault plan: {fault_plan} "
+              f"(checkpoint_interval={args.checkpoint_interval}, "
+              f"max_restarts={args.max_restarts})")
     service = PagingService(config)
     if args.trace_dir is not None:
         paths = service.enable_tracing(args.trace_dir,
@@ -462,13 +495,19 @@ def _cmd_serve(args) -> int:
     started = perf_counter()
     try:
         with service:
+            n_failed_batches = 0
             for i, lo in enumerate(range(0, len(seq), b)):
                 result = service.submit_batch(seq.pages[lo:lo + b],
                                               seq.levels[lo:lo + b])
-                while not result.accepted:
+                while (not result.accepted
+                       and getattr(result, "retryable", True)):
                     service.drain(0.01)
                     result = service.submit_batch(seq.pages[lo:lo + b],
                                                   seq.levels[lo:lo + b])
+                if not result.accepted:
+                    # Terminal (Failed): the target shard is gone; keep
+                    # serving the rest of the stream and count the loss.
+                    n_failed_batches += 1
                 if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
                     print(service.snapshot().render())
             service.drain()
@@ -481,6 +520,8 @@ def _cmd_serve(args) -> int:
     rate = snap.n_requests / elapsed if elapsed > 0 else 0.0
     print(f"served {snap.n_requests} requests in {elapsed:.3f}s "
           f"({rate:,.0f} req/s), total eviction cost {snap.eviction_cost:.1f}")
+    if n_failed_batches:
+        print(f"failed batches (shard permanently down): {n_failed_batches}")
     return 0
 
 
@@ -497,7 +538,9 @@ def _cmd_loadgen(args) -> int:
         with service:
             report = run_load(service, seq, rate=args.rate,
                               batch_size=args.batch_size,
-                              max_retries=args.max_retries)
+                              max_retries=args.max_retries,
+                              retry_backoff=args.retry_backoff,
+                              on_overload=args.on_overload)
             snap = service.snapshot()
     finally:
         if metrics_server is not None:

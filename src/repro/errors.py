@@ -65,6 +65,16 @@ class ServiceStateError(ReproError, RuntimeError):
     """
 
 
+class InjectedFault(ReproError, RuntimeError):
+    """A deliberate failure raised by the fault-injection layer.
+
+    Raised inside a shard worker when a :class:`repro.faults.FaultPlan`
+    spec fires (``kill`` or ``drop``).  Never raised by production paths;
+    its presence in a traceback unambiguously marks a chaos-test failure
+    as injected rather than organic.
+    """
+
+
 class SweepWorkerError(ReproError, RuntimeError):
     """A sweep spec failed inside :func:`repro.sim.runner.run_sweep`.
 

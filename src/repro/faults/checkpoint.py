@@ -1,0 +1,69 @@
+"""Per-shard checkpoints: a consistent deep copy of the engine's state.
+
+A :class:`ShardCheckpoint` captures everything that determines a shard's
+future behavior — the bound policy (with its RNG cursor), the authoritative
+cache contents, and the cost ledger — as **one** ``copy.deepcopy`` of the
+policy object graph (``policy -> cache -> ledger``), so the copy is
+internally consistent by construction.
+
+Two kinds of objects are deliberately *shared* with the live engine rather
+than copied, via a pre-seeded deepcopy memo:
+
+* **Immutable substrate** — the instance (read-only weight arrays).
+* **Live observability handles** — registry metric children and the
+  decision tracer (an open file).  Exposition counters are therefore
+  *at-least-once* under recovery (replayed work counts twice), exactly
+  like Prometheus counters across a process restart; the determinism
+  surface is the ledger and the trace stream, both of which roll back.
+
+The trace stream rolls back through :meth:`~repro.obs.DecisionTracer.mark`
+/ ``rewind``: a checkpoint remembers the tracer's file position, and
+restoring truncates the JSONL back to it, so a recovered run's trace is
+byte-identical to a fault-free run.
+
+Checkpoints survive repeated restores: ``restore`` deep-copies the stored
+state *again* (with the same sharing rules), so handing state to an engine
+never aliases the checkpoint's own copy.
+"""
+
+from __future__ import annotations
+
+import copy
+
+__all__ = ["ShardCheckpoint"]
+
+
+class ShardCheckpoint:
+    """A restorable snapshot of one :class:`~repro.service.engine.ShardEngine`.
+
+    ``seq`` is the replay-log sequence number of the last batch applied
+    before capture: recovery restores the checkpoint and replays exactly
+    the log entries with ``entry.seq > checkpoint.seq``.
+    """
+
+    __slots__ = ("seq", "t", "trace_mark", "_state")
+
+    def __init__(self, seq: int, t: int, trace_mark, state: dict) -> None:
+        self.seq = seq
+        self.t = t
+        self.trace_mark = trace_mark
+        self._state = state
+
+    @classmethod
+    def capture(cls, engine, *, seq: int = 0) -> "ShardCheckpoint":
+        """Deep-copy ``engine``'s replayable state (shares live handles)."""
+        memo = {id(obj): obj for obj in engine.shared_handles()}
+        state = copy.deepcopy(engine.checkpoint_state(), memo)
+        mark = engine.tracer.mark() if engine.tracer is not None else None
+        return cls(seq=seq, t=engine.n_requests, trace_mark=mark, state=state)
+
+    def restore(self, engine) -> None:
+        """Load this checkpoint into ``engine`` (reusable: copies again)."""
+        memo = {id(obj): obj for obj in engine.shared_handles()}
+        state = copy.deepcopy(self._state, memo)
+        engine.restore_state(state)
+        if engine.tracer is not None and self.trace_mark is not None:
+            engine.tracer.rewind(self.trace_mark)
+
+    def __repr__(self) -> str:
+        return f"ShardCheckpoint(seq={self.seq}, t={self.t})"

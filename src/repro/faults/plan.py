@@ -1,0 +1,210 @@
+"""Deterministic fault plans for chaos-testing the paging service.
+
+A :class:`FaultPlan` is a *schedule*, not a random process: every fault is
+pinned to a (shard, logical time) pair before the run starts, so a chaos
+test replays bit-for-bit from its seed.  Plans come from three places:
+
+* :meth:`FaultPlan.of` — explicit specs, for targeted tests,
+* :meth:`FaultPlan.random` — a seeded sample over shards and times,
+* :meth:`FaultPlan.parse` — the CLI grammar (``repro serve --faults``).
+
+Each spec fires **at most once**: a shard restarted from a checkpoint will
+replay through the same logical times without re-triggering the fault that
+killed it — otherwise recovery could never make progress.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceConfigError
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: Supported fault kinds, in documentation order.
+#:
+#: * ``kill`` — the shard worker raises :class:`~repro.errors.InjectedFault`
+#:   *before* serving the request at ``at_request`` (batch state intact).
+#: * ``delay`` — the worker sleeps ``delay_s`` seconds before serving the
+#:   batch containing ``at_request`` (latency/backpressure, no state loss).
+#: * ``drop`` — the queued batch containing ``at_request`` is discarded and
+#:   the worker dies; only the replay log can restore the lost slice.
+FAULT_KINDS = ("kill", "delay", "drop")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: do ``kind`` on ``shard`` at logical time ``at_request``."""
+
+    kind: str
+    shard: int
+    at_request: int
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ServiceConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.shard < 0:
+            raise ServiceConfigError(f"fault shard must be >= 0, got {self.shard}")
+        if self.at_request < 0:
+            raise ServiceConfigError(
+                f"fault at_request must be >= 0, got {self.at_request}"
+            )
+        if self.delay_s < 0.0:
+            raise ServiceConfigError(
+                f"fault delay_s must be >= 0, got {self.delay_s}"
+            )
+        if self.kind == "delay" and self.delay_s == 0.0:
+            raise ServiceConfigError("delay fault requires delay_s > 0")
+
+    def __str__(self) -> str:
+        base = f"{self.kind}:{self.shard}@{self.at_request}"
+        if self.kind == "delay":
+            return f"{base}:{self.delay_s:g}"
+        return base
+
+
+@dataclass
+class FaultPlan:
+    """An immutable-after-construction schedule of :class:`FaultSpec` s.
+
+    ``poll(shard, t)`` is the only mutating call: it atomically pops and
+    returns the next spec for ``shard`` that is due at logical time ``t``
+    (``spec.at_request <= t``), or None.  Popping implements fire-once.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    _pending: dict[int, list[FaultSpec]] = field(
+        init=False, repr=False, compare=False
+    )
+    _lock: threading.Lock = field(init=False, repr=False, compare=False)
+    _n_fired: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+        per_shard: dict[int, list[FaultSpec]] = {}
+        for spec in self.specs:
+            per_shard.setdefault(spec.shard, []).append(spec)
+        for lst in per_shard.values():
+            # Descending by time: poll pops the *earliest* due spec from
+            # the tail, O(1) per fire.
+            lst.sort(key=lambda s: s.at_request, reverse=True)
+        object.__setattr__(self, "_pending", per_shard)
+        object.__setattr__(self, "_lock", threading.Lock())
+        object.__setattr__(self, "_n_fired", 0)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        """Build a plan from explicit specs."""
+        return cls(tuple(specs))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_shards: int,
+        n_requests: int,
+        *,
+        n_faults: int = 1,
+        kinds: tuple[str, ...] = ("kill",),
+        delay_s: float = 0.005,
+    ) -> "FaultPlan":
+        """Sample a seeded plan: ``n_faults`` faults over shards x [1, n).
+
+        Times are drawn from the middle 80% of the request range so faults
+        land mid-run rather than degenerating to start/end edge cases.
+        """
+        if n_shards <= 0 or n_requests <= 1:
+            raise ServiceConfigError(
+                "random fault plan needs n_shards >= 1 and n_requests >= 2"
+            )
+        rng = np.random.default_rng(seed)
+        lo = max(1, n_requests // 10)
+        hi = max(lo + 1, (9 * n_requests) // 10)
+        specs = tuple(
+            FaultSpec(
+                kind=str(rng.choice(kinds)),
+                shard=int(rng.integers(0, n_shards)),
+                at_request=int(rng.integers(lo, hi)),
+                delay_s=delay_s if kinds else 0.0,
+            )
+            for _ in range(n_faults)
+        )
+        return cls(specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the CLI grammar: ``kind:shard@t[:delay_s]``, comma-separated.
+
+        Examples: ``kill:0@1000``, ``delay:1@2000:0.01,drop:2@500``.
+        """
+        specs: list[FaultSpec] = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                kind, rest = token.split(":", 1)
+                if ":" in rest:
+                    where, delay = rest.split(":", 1)
+                    delay_s = float(delay)
+                else:
+                    where, delay_s = rest, 0.0
+                shard_s, at_s = where.split("@", 1)
+                spec = FaultSpec(
+                    kind=kind.strip(), shard=int(shard_s),
+                    at_request=int(at_s), delay_s=delay_s,
+                )
+            except ServiceConfigError:
+                raise
+            except ValueError as exc:
+                raise ServiceConfigError(
+                    f"cannot parse fault spec {token!r} "
+                    "(expected kind:shard@t[:delay_s])"
+                ) from exc
+            specs.append(spec)
+        if not specs:
+            raise ServiceConfigError(f"fault plan {text!r} contains no specs")
+        return cls(tuple(specs))
+
+    # -- runtime -----------------------------------------------------------
+    def poll(self, shard: int, t: int) -> FaultSpec | None:
+        """Pop and return the earliest due spec for ``shard`` at time ``t``.
+
+        A spec is due when ``at_request <= t``; popped specs never fire
+        again (so recovery replay passes through the kill time unharmed).
+        """
+        with self._lock:
+            pending = self._pending.get(shard)
+            if not pending or pending[-1].at_request > t:
+                return None
+            spec = pending.pop()
+            self._n_fired += 1
+            return spec
+
+    @property
+    def n_fired(self) -> int:
+        """Number of specs that have fired so far."""
+        with self._lock:
+            return self._n_fired
+
+    def pending(self) -> tuple[FaultSpec, ...]:
+        """Specs that have not fired yet, in (shard, time) order."""
+        with self._lock:
+            return tuple(
+                spec
+                for shard in sorted(self._pending)
+                for spec in reversed(self._pending[shard])
+            )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __str__(self) -> str:
+        return ",".join(str(s) for s in self.specs)

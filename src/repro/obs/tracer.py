@@ -175,6 +175,44 @@ class DecisionTracer:
                         "cands": [[int(p), int(lv), float(s)]
                                   for p, lv, s in cands]})
 
+    # -- checkpoint support --------------------------------------------------
+    def mark(self) -> tuple:
+        """Snapshot the stream position + counters for a later :meth:`rewind`.
+
+        Flushes pending output first so the returned byte offset reflects
+        everything emitted so far.  Non-seekable sinks get a ``None``
+        position: rewind then restores counters only (the stream itself
+        cannot be truncated — recovery traces stay *append*-consistent
+        but not byte-identical; the service only enables recovery tracing
+        on regular files, where positions are always available).
+        """
+        self._file.flush()
+        try:
+            pos = self._file.tell() if self._file.seekable() else None
+        except (OSError, AttributeError):
+            pos = None
+        return (pos, self.n_written, self.n_dropped, self.n_requests)
+
+    def rewind(self, mark: tuple) -> None:
+        """Roll the stream and counters back to a :meth:`mark` snapshot.
+
+        Used by shard recovery: after restoring a checkpoint, the tracer
+        truncates its JSONL file back to the marked byte offset, so the
+        replayed suffix re-emits the identical lines and the final file is
+        byte-for-byte what a fault-free run writes.
+        """
+        if self._closed:
+            raise ValueError("cannot rewind a closed tracer")
+        pos, n_written, n_dropped, n_requests = mark
+        if pos is not None:
+            self._file.flush()
+            self._file.seek(pos)
+            self._file.truncate()
+        self.n_written = n_written
+        self.n_dropped = n_dropped
+        self.n_requests = n_requests
+        self.sampled = False
+
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
         """Write the ``end`` record and close the sink (idempotent)."""

@@ -18,7 +18,17 @@ behind a long-lived, stream-oriented server:
   per-phase :class:`~repro.obs.SpanStats` (``ingest`` / ``route`` /
   ``evict`` / ``snapshot``),
 * :func:`run_load` replays any :mod:`repro.workloads` stream at a target
-  request rate and reports achieved throughput + tail latency.
+  request rate and reports achieved throughput + tail latency, with
+  retry-with-backoff or shed-on-overload client policies.
+
+Failure semantics: with ``ServiceConfig.checkpoint_interval > 0`` the
+service checkpoints every shard periodically and a supervisor restarts
+dead workers from the last checkpoint, replaying a bounded in-memory log —
+recovered runs end with byte-identical per-shard ledgers and traces.  A
+shard past its restart budget fails its pending tickets (``ticket.ok`` is
+False, ``wait()`` never hangs) and later submissions touching it return
+:class:`Failed`.  See :mod:`repro.faults` for the deterministic
+fault-injection layer used to test this.
 
 Observability (:mod:`repro.obs`) is opt-in and free when off: pass a
 :class:`~repro.obs.MetricsRegistry` via ``ServiceConfig.metrics_registry``
@@ -43,7 +53,13 @@ Quick start::
 
 from repro.service.config import ServiceConfig
 from repro.service.engine import ShardEngine
-from repro.service.ingest import BatchTicket, MicroBatcher, Overloaded
+from repro.service.ingest import (
+    BatchTicket,
+    Failed,
+    MicroBatcher,
+    Overloaded,
+    Shed,
+)
 from repro.service.loadgen import LoadReport, run_load
 from repro.service.metrics import (
     LatencyHistogram,
@@ -58,8 +74,10 @@ __all__ = [
     "ServiceConfig",
     "ShardEngine",
     "BatchTicket",
+    "Failed",
     "MicroBatcher",
     "Overloaded",
+    "Shed",
     "LoadReport",
     "run_load",
     "LatencyHistogram",

@@ -53,6 +53,26 @@ class ServiceConfig:
         Optional :class:`~repro.obs.MetricsRegistry` the service and its
         shard engines publish exposition metrics into.  ``None`` (the
         default) routes every metrics call to the shared no-op sink.
+    checkpoint_interval:
+        Requests between per-shard checkpoints; ``0`` (the default)
+        disables checkpointing *and* recovery — a dead worker then fails
+        its pending tickets and surfaces the error on the next
+        submit/drain, the pre-recovery behavior.  Any positive value arms
+        the supervisor: dead workers restart from their last checkpoint
+        and replay the suffix from the in-memory log.
+    max_restarts:
+        Per-shard restart budget.  A shard that dies more than this many
+        times is marked *failed*: its pending tickets complete with a
+        failure result and future submissions touching it return
+        :class:`~repro.service.ingest.Failed`.
+    replay_log_cap:
+        Maximum in-memory replay-log entries per shard.  Reaching the cap
+        forces an early checkpoint (which prunes the log), bounding
+        recovery memory at ``cap`` batches regardless of the interval.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` — the deterministic
+        chaos schedule injected into the shard workers.  ``None`` (the
+        default) injects nothing; production configs never set this.
     """
 
     instance: MultiLevelInstance
@@ -68,6 +88,10 @@ class ServiceConfig:
     metrics_registry: MetricsRegistry | None = field(
         default=None, compare=False, repr=False
     )
+    checkpoint_interval: int = 0
+    max_restarts: int = 3
+    replay_log_cap: int = 1024
+    fault_plan: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -85,6 +109,18 @@ class ServiceConfig:
         if self.latency_window < 1:
             raise ServiceConfigError(
                 f"latency_window must be >= 1, got {self.latency_window}"
+            )
+        if self.checkpoint_interval < 0:
+            raise ServiceConfigError(
+                f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}"
+            )
+        if self.max_restarts < 0:
+            raise ServiceConfigError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.replay_log_cap < 1:
+            raise ServiceConfigError(
+                f"replay_log_cap must be >= 1, got {self.replay_log_cap}"
             )
         k = self.instance.cache_size
         if self.n_shards > k:

@@ -176,6 +176,58 @@ class ShardEngine:
         self._m_misses.inc(n - hits)
         self._m_batches.inc()
 
+    # -- checkpoint support ------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """The engine's replayable state as one consistent object graph.
+
+        The bound policy transitively owns the cache (``policy.cache``)
+        and ledger (``cache.ledger``) plus its RNG cursor, so deep-copying
+        this dict (see :class:`repro.faults.ShardCheckpoint`) captures
+        everything that determines future behavior in one pass.  The
+        latency window and registry counters are deliberately excluded:
+        they are wall-clock observability, not the determinism surface.
+        """
+        return {"policy": self.policy, "t": self._t,
+                "n_batches": self.n_batches}
+
+    def restore_state(self, state: dict) -> None:
+        """Install a (deep-copied) :meth:`checkpoint_state` dict.
+
+        Single-consumer contract applies: only the worker thread that owns
+        this engine may restore it, and only between batches.
+        """
+        policy = state["policy"]
+        self.policy = policy
+        self.cache = policy.cache
+        self.ledger = policy.cache.ledger
+        self._t = int(state["t"])
+        self.n_batches = int(state["n_batches"])
+        # Re-attach the live tracer: the copied graph already shares it by
+        # identity, but restore may race a detach, so be explicit.
+        self.ledger.tracer = self.tracer
+        policy.tracer = self.tracer
+
+    def shared_handles(self) -> list:
+        """Objects a checkpoint must *share* with the engine, never copy.
+
+        Immutable substrate (the instance) plus live observability handles
+        (registry families and their children, the open tracer).  Families
+        hold a ``threading.Lock`` and tracers an open file, so deep-copying
+        them would fail — and sharing is also the correct semantics: a
+        restored shard keeps publishing to the same exposition children.
+        """
+        ledger = self.ledger
+        handles: list = [self.instance, ledger._m_evictions, ledger._m_cost]
+        for family in (ledger._m_evictions, ledger._m_cost):
+            children = getattr(family, "children", None)
+            if children is not None:
+                handles.extend(children().values())
+        for pair in ledger._level_children.values():
+            handles.extend(pair)
+        if self.tracer is not None:
+            handles.append(self.tracer)
+        return handles
+
     def snapshot(self, *, queue_depth: int = 0) -> ShardSnapshot:
         """Point-in-time counters (queue depth is supplied by the server)."""
         ledger = self.ledger

@@ -7,10 +7,19 @@ the bounded queues cannot absorb returns :class:`Overloaded` *immediately*:
 backpressure is an explicit response the client handles (retry, shed,
 slow down), never unbounded buffering inside the service.
 
+Every non-ticket response carries two booleans the client branches on:
+``accepted`` (did the service take the batch?) and ``retryable`` (is
+resubmitting the same batch ever going to help?).  :class:`Overloaded` is
+transient (``retryable``); :class:`Failed` — the owning shard is
+permanently down — and :class:`Shed` — the batcher dropped the request at
+its buffer cap — are terminal.
+
 :class:`MicroBatcher` adapts a per-request producer to this batch API:
 requests accumulate until ``batch_size`` is reached or the oldest buffered
 request has waited ``flush_interval`` seconds, then the buffer is flushed
-as one batch.
+as one batch.  The buffer is *bounded*: under sustained backpressure it
+keeps at most ``max_buffer`` requests and sheds the overflow back to the
+producer instead of growing without limit.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from time import monotonic, perf_counter
 
 import numpy as np
 
-__all__ = ["Overloaded", "BatchTicket", "MicroBatcher"]
+__all__ = ["Overloaded", "Failed", "Shed", "BatchTicket", "MicroBatcher"]
 
 
 @dataclass(frozen=True)
@@ -37,24 +46,84 @@ class Overloaded:
         """Always False — lets clients branch on a common field."""
         return False
 
+    @property
+    def retryable(self) -> bool:
+        """True: backpressure is transient; resubmit the same batch later."""
+        return True
+
+
+@dataclass(frozen=True)
+class Failed:
+    """Terminal rejection: shard ``shard`` is permanently failed.
+
+    Returned (never raised) by ``submit_batch`` once a shard has exhausted
+    its restart budget, and used to complete the pending tickets of an
+    unrecoverable shard so no ``wait()`` caller hangs.  ``error`` is the
+    exception that killed the shard, for diagnostics.
+    """
+
+    shard: int
+    error: BaseException | None = None
+
+    @property
+    def accepted(self) -> bool:
+        """Always False — mirror of :attr:`Overloaded.accepted`."""
+        return False
+
+    @property
+    def retryable(self) -> bool:
+        """False: the shard is gone; retrying the same batch cannot help."""
+        return False
+
+
+@dataclass(frozen=True)
+class Shed:
+    """The micro-batcher dropped this request at its buffer cap.
+
+    ``cause`` is the submit response that kept the buffer full (an
+    :class:`Overloaded` or :class:`Failed`); the producer decides whether
+    to slow down, retry later, or count the loss.
+    """
+
+    page: int
+    level: int
+    cause: object = None
+
+    @property
+    def accepted(self) -> bool:
+        """Always False — the request was not taken."""
+        return False
+
+    @property
+    def retryable(self) -> bool:
+        """False for *this* response: the request was dropped, not queued.
+
+        The producer may still re-``offer`` the same request; whether that
+        helps depends on :attr:`cause`.
+        """
+        return False
+
 
 class BatchTicket:
     """Completion handle for one accepted batch (a countdown latch).
 
     The batch is split across up to ``n_parts`` shard queues; each shard
-    engine calls :meth:`part_done` after serving its slice.  ``wait`` blocks
-    until the whole batch is served; :attr:`latency` is then the end-to-end
-    submit-to-served time in seconds.
+    engine calls :meth:`part_done` after serving its slice — or
+    :meth:`part_failed` if the owning shard died unrecoverably.  ``wait``
+    blocks until every slice has been *resolved* either way (a failed
+    ticket never hangs its waiter); :attr:`ok` distinguishes the outcomes
+    and :attr:`latency` is the end-to-end submit-to-resolved time.
     """
 
     __slots__ = ("n_requests", "submitted_at", "completed_at", "_remaining",
-                 "_lock", "_event")
+                 "_errors", "_lock", "_event")
 
     def __init__(self, n_parts: int, n_requests: int) -> None:
         self.n_requests = n_requests
         self.submitted_at = perf_counter()
         self.completed_at: float | None = None
         self._remaining = n_parts
+        self._errors: tuple[BaseException, ...] = ()
         self._lock = threading.Lock()
         self._event = threading.Event()
         if n_parts == 0:
@@ -75,18 +144,52 @@ class BatchTicket:
             self.completed_at = perf_counter()
             self._event.set()
 
+    def part_failed(self, error: BaseException | None = None) -> None:
+        """Resolve one slice as *failed*; the ticket still completes.
+
+        Called by the service when the slice's shard died unrecoverably.
+        Waiters wake exactly as for success — they check :attr:`ok`.
+        """
+        with self._lock:
+            if error is not None:
+                self._errors = self._errors + (error,)
+            else:
+                self._errors = self._errors + (
+                    RuntimeError("shard slice failed"),
+                )
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self.completed_at = perf_counter()
+            self._event.set()
+
     def wait(self, timeout: float | None = None) -> bool:
-        """Block until the batch is fully served; False on timeout."""
+        """Block until every slice is resolved; False on timeout."""
         return self._event.wait(timeout)
 
     @property
     def done(self) -> bool:
-        """True once every shard slice has been served."""
+        """True once every shard slice has been resolved (ok or failed)."""
         return self._event.is_set()
 
     @property
+    def failed(self) -> bool:
+        """True when at least one slice was resolved as failed."""
+        return bool(self._errors)
+
+    @property
+    def errors(self) -> tuple[BaseException, ...]:
+        """The failures recorded against this ticket's slices."""
+        return self._errors
+
+    @property
+    def ok(self) -> bool:
+        """True when the batch fully completed with no failed slice."""
+        return self._event.is_set() and not self._errors
+
+    @property
     def latency(self) -> float | None:
-        """Submit-to-served seconds, or None while still in flight."""
+        """Submit-to-resolved seconds, or None while still in flight."""
         if self.completed_at is None:
             return None
         return self.completed_at - self.submitted_at
@@ -104,13 +207,20 @@ class MicroBatcher:
         many seconds, even if the batch is short.
     submit:
         Called with ``(pages, levels)`` int64 arrays; its return value is
-        handed back to the producer (ticket or overload response).
+        handed back to the producer (ticket or rejection response).
+    max_buffer:
+        Hard cap on buffered requests while the submit target rejects
+        with a retryable response.  Defaults to ``4 * batch_size``.  At
+        the cap, :meth:`offer` returns :class:`Shed` without buffering —
+        sustained backpressure surfaces to the producer instead of
+        growing an unbounded list.
     clock:
         Injectable monotonic clock, for deterministic tests.
     """
 
-    __slots__ = ("batch_size", "flush_interval", "_submit", "_clock",
-                 "_pages", "_levels", "_oldest")
+    __slots__ = ("batch_size", "flush_interval", "max_buffer", "n_shed",
+                 "_submit", "_clock", "_pages", "_levels", "_oldest",
+                 "_last_reject")
 
     def __init__(
         self,
@@ -118,21 +228,42 @@ class MicroBatcher:
         flush_interval: float,
         submit: Callable[[np.ndarray, np.ndarray], object],
         *,
+        max_buffer: int | None = None,
         clock: Callable[[], float] = monotonic,
     ) -> None:
+        if max_buffer is None:
+            max_buffer = 4 * batch_size
+        if max_buffer < batch_size:
+            raise ValueError(
+                f"max_buffer ({max_buffer}) must be >= batch_size ({batch_size})"
+            )
         self.batch_size = batch_size
         self.flush_interval = flush_interval
+        self.max_buffer = max_buffer
+        #: Requests dropped at the buffer cap (returned as :class:`Shed`).
+        self.n_shed = 0
         self._submit = submit
         self._clock = clock
         self._pages: list[int] = []
         self._levels: list[int] = []
         self._oldest = 0.0
+        self._last_reject: object | None = None
 
     def __len__(self) -> int:
         return len(self._pages)
 
     def offer(self, page: int, level: int = 1) -> object | None:
-        """Buffer one request; returns the submit result on flush, else None."""
+        """Buffer one request; returns the submit result on flush, else None.
+
+        At the buffer cap a flush is attempted first; if the service still
+        rejects, the *offered* request is shed (returned as :class:`Shed`,
+        never buffered) so the buffer stays bounded at ``max_buffer``.
+        """
+        if len(self._pages) >= self.max_buffer:
+            result = self.flush()
+            if len(self._pages) >= self.max_buffer:
+                self.n_shed += 1
+                return Shed(page, level, cause=result or self._last_reject)
         if not self._pages:
             self._oldest = self._clock()
         self._pages.append(page)
@@ -145,8 +276,10 @@ class MicroBatcher:
     def flush(self) -> object | None:
         """Submit whatever is buffered; None if the buffer is empty.
 
-        If the submission is rejected (:class:`Overloaded`), the buffer is
-        *kept* so the producer can retry with a later ``flush`` call.
+        A *retryable* rejection (:class:`Overloaded`) keeps the buffer so
+        the producer can retry with a later ``flush`` call.  A terminal
+        rejection (:class:`Failed`) sheds the whole buffer — those
+        requests can never be accepted, so holding them only hides loss.
         """
         if not self._pages:
             return None
@@ -156,4 +289,12 @@ class MicroBatcher:
         if getattr(result, "accepted", True):
             self._pages.clear()
             self._levels.clear()
+            self._last_reject = None
+        elif not getattr(result, "retryable", True):
+            self.n_shed += len(self._pages)
+            self._pages.clear()
+            self._levels.clear()
+            self._last_reject = result
+        else:
+            self._last_reject = result
         return result

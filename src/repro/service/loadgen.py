@@ -8,14 +8,30 @@ regardless of how fast the service responds, so a service that cannot
 keep up shows up as rising queue depth, ``Overloaded`` rejections and
 tail latency — not as a silently slower generator.
 
-Overloaded submissions are retried a bounded number of times (the batch
-is not lost), then dropped and counted.  The report carries achieved
-throughput, drop/overload counts and end-to-end batch latency
-percentiles measured from the accepted tickets.
+Two overload policies:
+
+* ``on_overload="retry"`` (default) — an ``Overloaded`` rejection is
+  retried with exponential backoff up to ``max_retries`` times, then the
+  batch is dropped and counted.
+* ``on_overload="shed"`` — rejections are never retried; the batch is
+  shed immediately.  This is the load-shedding client: it preserves the
+  open-loop pacing exactly (no backoff sleeps) at the price of drops.
+
+Terminal rejections (:class:`~repro.service.ingest.Failed` — the target
+shard is permanently down) are never retried under either policy.
+Tickets that complete as *failed* (their shard died unrecoverably while
+the batch was in flight) count as failed batches, not served requests.
+
+The report carries achieved throughput, drop/overload/failure counts and
+end-to-end batch latency percentiles measured from the successfully
+completed tickets.  When *no* batch was accepted the percentiles are NaN
+and ``rejected_all`` is set — zero latency was never observed, it is
+simply unknown.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from time import perf_counter, sleep
 
@@ -44,6 +60,8 @@ class LoadReport:
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    n_failed_batches: int = 0
+    rejected_all: bool = False
 
     @property
     def drop_fraction(self) -> float:
@@ -54,13 +72,13 @@ class LoadReport:
         """One-row summary table in the repo's benchmark format."""
         table = Table(
             ["target req/s", "achieved req/s", "duration s", "served",
-             "dropped %", "overloads", "p50 ms", "p95 ms", "p99 ms"],
+             "dropped %", "overloads", "failed", "p50 ms", "p95 ms", "p99 ms"],
             title="load generator report",
         )
         table.add_row(
             self.target_rate, self.achieved_rate, self.duration_s,
             self.n_served, 100.0 * self.drop_fraction, self.n_overloaded,
-            self.p50_ms, self.p95_ms, self.p99_ms,
+            self.n_failed_batches, self.p50_ms, self.p95_ms, self.p99_ms,
         )
         return table
 
@@ -77,25 +95,36 @@ def run_load(
     batch_size: int | None = None,
     max_retries: int = 3,
     retry_backoff: float = 0.001,
+    on_overload: str = "retry",
     drain_timeout: float | None = 30.0,
 ) -> LoadReport:
     """Replay ``seq`` against ``service`` at ``rate`` requests/second.
 
     ``batch_size`` defaults to the service's configured micro-batch size.
-    The call drains the service before reporting, so counters in a
-    subsequent :meth:`~repro.service.server.PagingService.snapshot` cover
-    every accepted request.
+    ``on_overload`` selects the client policy for ``Overloaded``
+    rejections: ``"retry"`` (exponential backoff, ``retry_backoff *
+    2**(attempt-1)`` seconds capped at 50 ms, up to ``max_retries``
+    attempts) or
+    ``"shed"`` (drop immediately, never sleep).  The call drains the
+    service before reporting, so counters in a subsequent
+    :meth:`~repro.service.server.PagingService.snapshot` cover every
+    accepted request.
     """
     if rate <= 0:
         raise ValueError(f"rate must be > 0, got {rate}")
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if on_overload not in ("retry", "shed"):
+        raise ValueError(
+            f"on_overload must be 'retry' or 'shed', got {on_overload!r}"
+        )
     b = batch_size if batch_size is not None else service.config.batch_size
     pages, levels = seq.pages, seq.levels
     n = len(seq)
     tickets: list[BatchTicket] = []
     n_overloaded = 0
     n_dropped = 0
+    retries_budget = 0 if on_overload == "shed" else max_retries
     started = perf_counter()
     for lo in range(0, n, b):
         due = started + lo / rate
@@ -106,9 +135,13 @@ def run_load(
         batch_levels = levels[lo:lo + b]
         result = service.submit_batch(batch_pages, batch_levels)
         retries = 0
-        while not result.accepted and retries < max_retries:
+        while (not result.accepted and retries < retries_budget
+               and getattr(result, "retryable", True)):
             retries += 1
-            sleep(retry_backoff * retries)
+            # Exponential backoff, capped: a service mid-recovery can
+            # reject for ~100ms and an uncapped doubling would turn a
+            # large retry budget into an astronomically long sleep.
+            sleep(min(retry_backoff * 2.0 ** (retries - 1), 0.05))
             result = service.submit_batch(batch_pages, batch_levels)
         n_overloaded += retries
         if result.accepted:
@@ -118,16 +151,21 @@ def run_load(
             n_dropped += 1
     service.drain(drain_timeout)
     duration = perf_counter() - started
-    n_served = sum(t.n_requests for t in tickets if t.done)
+    n_failed = sum(1 for t in tickets if t.done and not t.ok)
+    n_served = sum(t.n_requests for t in tickets if t.ok)
     latencies = np.asarray(
-        [t.latency for t in tickets if t.latency is not None], dtype=np.float64
+        [t.latency for t in tickets if t.ok and t.latency is not None],
+        dtype=np.float64,
     )
+    rejected_all = not tickets
     if latencies.size:
         p50, p95, p99 = (
             float(v) * 1e3 for v in np.percentile(latencies, [50.0, 95.0, 99.0])
         )
     else:
-        p50 = p95 = p99 = 0.0
+        # No completed batch -> no latency data.  NaN, not 0: zero would
+        # read as an impossibly fast service in downstream tables.
+        p50 = p95 = p99 = math.nan
     return LoadReport(
         target_rate=float(rate),
         achieved_rate=n_served / duration if duration > 0 else 0.0,
@@ -140,4 +178,6 @@ def run_load(
         p50_ms=p50,
         p95_ms=p95,
         p99_ms=p99,
+        n_failed_batches=n_failed,
+        rejected_all=rejected_all,
     )

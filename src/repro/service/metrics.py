@@ -140,12 +140,23 @@ class LatencyHistogram:
             self._samples[self._pos] = seconds
             self._pos = (self._pos + 1) % self._window
 
+    @property
+    def empty(self) -> bool:
+        """True while no observation has been recorded yet.
+
+        Percentile queries on an empty window return zeros rather than
+        crashing in ``np.percentile``; callers that must distinguish
+        "all-zero latency" from "no data" branch on this flag.
+        """
+        return not self._samples
+
     def percentiles(self, qs: Sequence[float]) -> tuple[float, ...]:
         """Percentiles (0-100) over the window, in seconds.
 
         The single computation path behind every percentile query: the
         window is order-insensitive for percentiles, so the rotating ring
-        is handed to numpy as-is.
+        is handed to numpy as-is.  An empty window (``np.percentile``
+        would raise) yields all zeros — see :attr:`empty`.
         """
         if not self._samples:
             return tuple(0.0 for _ in qs)
@@ -180,6 +191,9 @@ class ShardSnapshot:
     p95_ms: float = 0.0
     p99_ms: float = 0.0
     spans: dict[str, SpanStats] = field(default_factory=dict)
+    n_checkpoints: int = 0
+    n_restores: int = 0
+    n_replayed_batches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -195,6 +209,9 @@ class ServiceSnapshot:
     n_overloaded: int = 0
     n_submitted_batches: int = 0
     spans: dict[str, SpanStats] = field(default_factory=dict)
+    n_worker_restarts: int = 0
+    n_failed_shards: int = 0
+    n_faults_injected: int = 0
 
     # -- aggregates --------------------------------------------------------
     @property
@@ -293,6 +310,14 @@ class ServiceSnapshot:
         text = self.table(include_latency=include_latency,
                           include_spans=include_spans).render()
         text += f"overloaded batches: {self.n_overloaded}\n"
+        # Recovery counters appear only when nonzero, so fault-free runs
+        # (and the deterministic golden rendering) are unchanged.
+        if self.n_faults_injected or self.n_worker_restarts or self.n_failed_shards:
+            text += (
+                f"faults injected: {self.n_faults_injected}, "
+                f"worker restarts: {self.n_worker_restarts}, "
+                f"failed shards: {self.n_failed_shards}\n"
+            )
         if include_spans and self.merged_spans():
             text += "\n" + self.phase_table().render()
         return text

@@ -14,24 +14,43 @@
 Either way, per-shard request order equals arrival order, so the per-shard
 cost ledgers are bit-reproducible for a given (seed, trace) regardless of
 thread scheduling — the property the conformance tests pin down.
+
+Failure semantics (threaded mode)
+---------------------------------
+With ``checkpoint_interval > 0`` the service *recovers* from worker
+deaths: every accepted shard slice is also appended to a bounded in-memory
+replay log, each worker checkpoints its engine every ``checkpoint_interval``
+requests, and a supervisor thread restarts dead workers from their last
+checkpoint and replays the log suffix — per-shard ledgers and traces end
+byte-identical to a fault-free run.  A shard that exhausts its
+``max_restarts`` budget is marked **failed**: its pending tickets complete
+with a failure result (``ticket.ok`` is False; ``wait()`` never hangs) and
+subsequent submissions touching it return
+:class:`~repro.service.ingest.Failed`.
+
+With ``checkpoint_interval == 0`` (the default) there is no recovery: a
+worker death fails the shard immediately — pending tickets complete as
+failed and the error is re-raised on the next submit/drain.
 """
 
 from __future__ import annotations
 
 import queue as _queue
 import threading
+from dataclasses import replace
 from pathlib import Path
-from time import monotonic, sleep
+from time import monotonic, perf_counter, sleep
 
 import numpy as np
 
-from repro.errors import ServiceStateError
+from repro.errors import InjectedFault, ServiceStateError
+from repro.faults.checkpoint import ShardCheckpoint
 from repro.obs.registry import null_registry
 from repro.obs.spans import PhaseProfiler
 from repro.obs.tracer import DecisionTracer
 from repro.service.config import ServiceConfig
 from repro.service.engine import ShardEngine
-from repro.service.ingest import BatchTicket, MicroBatcher, Overloaded
+from repro.service.ingest import BatchTicket, Failed, MicroBatcher, Overloaded
 from repro.service.metrics import ServiceSnapshot
 from repro.service.router import ShardRouter
 from repro.sim.seeding import spawn_seeds
@@ -39,6 +58,50 @@ from repro.sim.seeding import spawn_seeds
 __all__ = ["PagingService"]
 
 _STOP = object()
+
+
+class _Part:
+    """One shard's slice of an accepted batch, as logged and queued."""
+
+    __slots__ = ("seq", "ticket", "pages", "levels", "completed")
+
+    def __init__(self, seq: int, ticket: BatchTicket,
+                 pages: np.ndarray, levels: np.ndarray) -> None:
+        self.seq = seq
+        self.ticket = ticket
+        self.pages = pages
+        self.levels = levels
+        #: Resolved exactly once (done or failed); guarded by the service
+        #: lock so replay and queue consumption cannot double-complete.
+        self.completed = False
+
+
+class _ShardState:
+    """Per-shard recovery bookkeeping owned by the service."""
+
+    __slots__ = ("shard", "next_seq", "applied_seq", "log", "checkpoint",
+                 "since_checkpoint", "restarts", "failed", "fail_error",
+                 "n_checkpoints", "n_restores", "n_replayed")
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        #: Sequence numbers are per-shard, assigned under the service lock
+        #: at admission; queue order equals seq order equals arrival order.
+        self.next_seq = 0
+        #: Highest seq whose batch has been applied to the engine.
+        self.applied_seq = 0
+        #: Admitted-but-not-yet-pruned parts, in seq order.  Superset of
+        #: the shard queue's contents, so recovery can replay everything
+        #: the dead worker had popped but not finished.
+        self.log: list[_Part] = []
+        self.checkpoint: ShardCheckpoint | None = None
+        self.since_checkpoint = 0
+        self.restarts = 0
+        self.failed = False
+        self.fail_error: BaseException | None = None
+        self.n_checkpoints = 0
+        self.n_restores = 0
+        self.n_replayed = 0
 
 
 class PagingService:
@@ -67,8 +130,34 @@ class PagingService:
         self._m_queue_depth = self.registry.gauge(
             "repro_queue_depth", "Pending batches per shard queue", ("shard",)
         )
+        self._m_checkpoints = self.registry.counter(
+            "repro_checkpoints_total", "Shard checkpoints taken", ("shard",)
+        )
+        self._m_restores = self.registry.counter(
+            "repro_restores_total", "Shard checkpoint restores", ("shard",)
+        )
+        self._m_replayed = self.registry.counter(
+            "repro_replayed_batches_total",
+            "Replay-log batches re-applied after a restore", ("shard",)
+        )
+        self._m_restarts = self.registry.counter(
+            "repro_worker_restarts_total", "Shard worker restarts", ("shard",)
+        )
+        self._m_faults = self.registry.counter(
+            "repro_faults_injected_total", "Injected faults fired",
+            ("shard", "kind"),
+        )
+        self._m_failed_parts = self.registry.counter(
+            "repro_failed_parts_total",
+            "Batch slices completed with a failure result", ("shard",)
+        )
+        self._recovery = config.checkpoint_interval > 0
+        self._plan = config.fault_plan
+        self._states = [_ShardState(i) for i in range(config.n_shards)]
         self._queues: list[_queue.Queue] = []
         self._threads: list[threading.Thread] = []
+        self._supervisor: threading.Thread | None = None
+        self._death_q: _queue.Queue = _queue.Queue()
         self._started = False
         self._stopped = False
         self._n_overloaded = 0
@@ -101,20 +190,52 @@ class PagingService:
         self._started = True
         for t in self._threads:
             t.start()
+        if self._recovery:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="repro-supervisor", daemon=True,
+            )
+            self._supervisor.start()
         return self
 
     def stop(self, timeout: float | None = None) -> None:
-        """Drain pending work, stop the workers, and seal the service."""
+        """Drain pending work, stop the workers, and seal the service.
+
+        ``timeout`` is one *shared* monotonic deadline covering the drain,
+        every worker join and the supervisor join — the whole call returns
+        within ``timeout`` seconds of being made (not ``timeout`` per
+        thread).
+        """
         if self._stopped:
             return
+        deadline = None if timeout is None else monotonic() + timeout
+
+        def remaining() -> float | None:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - monotonic())
+
         if self._started:
-            self.drain(timeout)
+            self.drain(remaining())
             for q in self._queues:
-                q.put(_STOP)
-            for t in self._threads:
-                t.join(timeout)
+                # A full queue always has a live consumer making progress
+                # (failed shards have their queues drained when marked), so
+                # a blocking put terminates; the deadline still bounds it.
+                try:
+                    if deadline is None:
+                        q.put(_STOP)
+                    else:
+                        q.put(_STOP, timeout=max(remaining(), 1e-3))
+                except _queue.Full:
+                    pass
+            if self._supervisor is not None:
+                self._death_q.put(_STOP)
+                self._supervisor.join(remaining())
+            with self._lock:
+                threads = list(self._threads)
+            for t in threads:
+                t.join(remaining())
         else:
-            self._flush_pending(timeout)
+            self._flush_pending(remaining())
         self._stopped = True
         for tracer in self._tracers:
             tracer.close()
@@ -131,7 +252,9 @@ class PagingService:
         """Offer one request to the micro-batcher (single-producer API).
 
         Returns None while the request is buffered, otherwise the flush
-        result (:class:`BatchTicket` or :class:`Overloaded`).
+        result (:class:`BatchTicket`, :class:`Overloaded`,
+        :class:`~repro.service.ingest.Failed` or
+        :class:`~repro.service.ingest.Shed`).
         """
         return self._batcher.offer(page, level)
 
@@ -139,13 +262,15 @@ class PagingService:
         """Force the micro-batcher to submit its partial batch, if any."""
         return self._batcher.flush()
 
-    def submit_batch(self, pages, levels=None) -> BatchTicket | Overloaded:
-        """Submit one micro-batch; returns a ticket or an overload response.
+    def submit_batch(self, pages, levels=None) -> BatchTicket | Overloaded | Failed:
+        """Submit one micro-batch; returns a ticket or a rejection response.
 
         ``levels`` defaults to all-ones (weighted paging).  In threaded
         mode the batch is accepted only if *every* target shard queue has
         room — all-or-nothing, so a rejected batch leaves no partial state
-        anywhere and can be retried verbatim.
+        anywhere and can be retried verbatim.  A batch touching a
+        permanently failed shard returns :class:`Failed` (recovery mode)
+        or raises :class:`~repro.errors.ServiceStateError` (no recovery).
 
         The whole submission is timed under the ``ingest`` span (in inline
         mode that includes serving) and the shard split under ``route``.
@@ -175,6 +300,14 @@ class PagingService:
                 return ticket
             with self._lock:
                 for shard, _, _ in parts:
+                    state = self._states[shard]
+                    if state.failed:
+                        if self._recovery:
+                            return Failed(shard, state.fail_error)
+                        raise ServiceStateError(
+                            f"shard worker failed: {state.fail_error!r}"
+                        ) from state.fail_error
+                for shard, _, _ in parts:
                     if self._queues[shard].full():
                         self._n_overloaded += 1
                         self._m_overloaded.inc()
@@ -182,7 +315,11 @@ class PagingService:
                 ticket = BatchTicket(len(parts), int(pages.size))
                 self._inflight += len(parts)
                 for shard, p, lv in parts:
-                    self._queues[shard].put((ticket, p, lv))
+                    state = self._states[shard]
+                    state.next_seq += 1
+                    part = _Part(state.next_seq, ticket, p, lv)
+                    state.log.append(part)
+                    self._queues[shard].put(part)
                 self._n_batches += 1
             return ticket
 
@@ -190,6 +327,8 @@ class PagingService:
         """Flush the micro-batcher and wait until all queued work is served.
 
         Returns False if the timeout expired with work still in flight.
+        Never hangs on a dead shard: recovery completes its work, and an
+        unrecoverable shard's parts are completed as failed.
         """
         deadline = None if timeout is None else monotonic() + timeout
         if not self._flush_pending(timeout):
@@ -204,11 +343,14 @@ class PagingService:
         return ok
 
     def _flush_pending(self, timeout: float | None) -> bool:
-        """Retry-flush the micro-batcher until accepted or timed out."""
+        """Retry-flush the micro-batcher until accepted, shed or timed out."""
         deadline = None if timeout is None else monotonic() + timeout
         while len(self._batcher):
             result = self._batcher.flush()
             if result is None or result.accepted:
+                return True
+            if not getattr(result, "retryable", True):
+                # Terminal rejection: the batcher already shed the buffer.
                 return True
             if deadline is not None and monotonic() >= deadline:
                 return False
@@ -216,28 +358,188 @@ class PagingService:
         return True
 
     # -- worker loop -------------------------------------------------------
-    def _worker(self, shard: int) -> None:
-        q = self._queues[shard]
+    def _worker(self, shard: int, *, recovered: bool = False) -> None:
+        state = self._states[shard]
         engine = self.engines[shard]
-        while True:
-            item = q.get()
-            if item is _STOP:
+        q = self._queues[shard]
+        try:
+            if recovered:
+                self._recover(state, engine)
+            elif self._recovery and state.checkpoint is None:
+                # Seed checkpoint at t=0 so even a first-interval death
+                # can be recovered.
+                self._take_checkpoint(state, engine)
+            while True:
+                item = q.get()
+                if item is _STOP:
+                    return
+                if item.seq <= state.applied_seq:
+                    # Already applied (and completed) during replay.
+                    continue
+                self._process_one(state, engine, item)
+        except BaseException as exc:  # worker death: recover or fail shard
+            self._on_worker_death(state, exc)
+
+    def _process_one(self, state: _ShardState, engine: ShardEngine,
+                     part: _Part) -> None:
+        """Apply one logged part: faults, serve, complete, checkpoint."""
+        if self._plan is not None:
+            t_last = engine.n_requests + int(part.pages.size) - 1
+            spec = self._plan.poll(state.shard, t_last)
+            if spec is not None:
+                self._m_faults.labels(str(state.shard), spec.kind).inc()
+                if spec.kind == "delay":
+                    sleep(spec.delay_s)
+                else:
+                    # kill: die before serving (engine state intact).
+                    # drop: the queue slot is lost with the worker; only
+                    # the replay log can restore the slice.  Either way
+                    # the part stays un-completed and un-applied, so
+                    # recovery replays it from the log.
+                    raise InjectedFault(f"injected fault: {spec}")
+        engine.process_batch(part.pages, part.levels)
+        state.applied_seq = part.seq
+        state.since_checkpoint += int(part.pages.size)
+        self._complete_part(part)
+        if self._recovery:
+            if (state.since_checkpoint >= self.config.checkpoint_interval
+                    or len(state.log) >= self.config.replay_log_cap):
+                self._take_checkpoint(state, engine)
+        else:
+            self._prune_log(state)
+
+    def _complete_part(self, part: _Part,
+                       error: BaseException | None = None) -> None:
+        """Resolve one part exactly once (done, or failed with ``error``)."""
+        with self._idle:
+            if part.completed:
                 return
-            ticket, pages, levels = item
+            part.completed = True
+        if error is None:
+            part.ticket.part_done()
+        else:
+            part.ticket.part_failed(error)
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def _prune_log(self, state: _ShardState) -> None:
+        """Drop applied entries (no-recovery mode keeps the log minimal)."""
+        with self._lock:
+            applied = state.applied_seq
+            state.log = [p for p in state.log if p.seq > applied]
+
+    def _take_checkpoint(self, state: _ShardState, engine: ShardEngine) -> None:
+        started = perf_counter()
+        state.checkpoint = ShardCheckpoint.capture(engine, seq=state.applied_seq)
+        engine.profiler.record("checkpoint", perf_counter() - started)
+        state.since_checkpoint = 0
+        state.n_checkpoints += 1
+        self._m_checkpoints.labels(str(state.shard)).inc()
+        # The checkpoint covers everything up to its seq; prune the log.
+        with self._lock:
+            seq = state.checkpoint.seq
+            state.log = [p for p in state.log if p.seq > seq]
+
+    def _recover(self, state: _ShardState, engine: ShardEngine) -> None:
+        """Restore the last checkpoint and replay the logged suffix."""
+        ckpt = state.checkpoint
+        if ckpt is None:
+            raise ServiceStateError(
+                f"shard {state.shard} has no checkpoint to restore"
+            )
+        with self._lock:
+            pending = [p for p in state.log if p.seq > ckpt.seq]
+        started = perf_counter()
+        ckpt.restore(engine)
+        engine.profiler.record("restore", perf_counter() - started)
+        state.applied_seq = ckpt.seq
+        state.since_checkpoint = 0
+        state.n_restores += 1
+        self._m_restores.labels(str(state.shard)).inc()
+        started = perf_counter()
+        n = 0
+        try:
+            for part in pending:
+                # Replay re-applies every logged batch past the checkpoint
+                # — including ones the dead worker completed (their effects
+                # were rolled back with the restore; _complete_part keeps
+                # their tickets resolved exactly once) and ones still
+                # sitting in the queue (the seq guard skips them on pop).
+                self._process_one(state, engine, part)
+                n += 1
+                state.n_replayed += 1
+                self._m_replayed.labels(str(state.shard)).inc()
+        finally:
+            engine.profiler.record("replay", perf_counter() - started)
+
+    def _on_worker_death(self, state: _ShardState, exc: BaseException) -> None:
+        if self._recovery:
+            self._death_q.put((state.shard, exc))
+            return
+        with self._lock:
+            self._errors.append(exc)
+            state.failed = True
+            state.fail_error = exc
+        self._fail_shard_parts(state, exc)
+
+    def _fail_shard_parts(self, state: _ShardState,
+                          exc: BaseException) -> None:
+        """Complete every pending part of a dead shard as failed.
+
+        ``state.failed`` must already be set (under the lock) so no new
+        part can be admitted for this shard while we sweep.
+        """
+        q = self._queues[state.shard]
+        while True:
             try:
-                engine.process_batch(pages, levels)
-            except BaseException as exc:  # surfaced on next submit/drain
-                with self._lock:
-                    self._errors.append(exc)
-            finally:
-                ticket.part_done()
-                with self._idle:
-                    self._inflight -= 1
-                    if self._inflight == 0:
-                        self._idle.notify_all()
+                q.get_nowait()
+            except _queue.Empty:
+                break
+        with self._lock:
+            parts = list(state.log)
+            state.log = []
+        error = ServiceStateError(f"shard {state.shard} failed: {exc!r}")
+        error.__cause__ = exc
+        for part in parts:
+            if not part.completed:
+                self._m_failed_parts.labels(str(state.shard)).inc()
+            self._complete_part(part, error=error)
+
+    def _supervise(self) -> None:
+        """Restart dead workers from their checkpoints; fail them past budget."""
+        while True:
+            msg = self._death_q.get()
+            if msg is _STOP:
+                return
+            shard, exc = msg
+            state = self._states[shard]
+            with self._lock:
+                give_up = state.restarts >= self.config.max_restarts
+                if give_up:
+                    state.failed = True
+                    state.fail_error = exc
+                else:
+                    state.restarts += 1
+                    n = state.restarts
+            if give_up:
+                self._fail_shard_parts(state, exc)
+                continue
+            self._m_restarts.labels(str(shard)).inc()
+            thread = threading.Thread(
+                target=self._worker, args=(shard,),
+                kwargs={"recovered": True},
+                name=f"repro-shard-{shard}-r{n}", daemon=True,
+            )
+            with self._lock:
+                self._threads.append(thread)
+            thread.start()
 
     def _raise_pending(self) -> None:
-        if self._errors:
+        # In recovery mode failures surface as Failed results on the
+        # affected submissions, never as raised errors on healthy paths.
+        if self._errors and not self._recovery:
             exc = self._errors[0]
             raise ServiceStateError(
                 f"shard worker failed: {exc!r}"
@@ -267,7 +569,10 @@ class PagingService:
         missing).  Events are keyed to each shard's *logical* clock and the
         sampling decision is a pure function of ``(seed, t)``, so inline
         and threaded runs of the same workload produce byte-identical
-        per-shard traces.  Traces are closed by :meth:`stop`.
+        per-shard traces — including runs that recover from injected
+        faults: checkpoints carry a trace mark and a restore truncates the
+        file back to it before the replay re-emits the suffix.  Traces are
+        closed by :meth:`stop`.
 
         Must be called before any traffic (the traced loop needs to see
         every request of a sampled shard clock from t = 0).
@@ -304,8 +609,13 @@ class PagingService:
             for shard, depth in enumerate(depths):
                 self._m_queue_depth.labels(str(shard)).set(depth)
             shards = tuple(
-                e.snapshot(queue_depth=d)
-                for e, d in zip(self.engines, depths)
+                replace(
+                    e.snapshot(queue_depth=d),
+                    n_checkpoints=s.n_checkpoints,
+                    n_restores=s.n_restores,
+                    n_replayed_batches=s.n_replayed,
+                )
+                for e, d, s in zip(self.engines, depths, self._states)
             )
         # Spans are read after the snapshot span closes, so even the first
         # snapshot reports its own timing.
@@ -314,6 +624,10 @@ class PagingService:
             n_overloaded=self._n_overloaded,
             n_submitted_batches=self._n_batches,
             spans=self.profiler.stats(),
+            n_worker_restarts=sum(s.restarts for s in self._states),
+            n_failed_shards=sum(1 for s in self._states if s.failed),
+            n_faults_injected=(self._plan.n_fired
+                               if self._plan is not None else 0),
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,90 @@
+"""Chaos smoke test: kill a shard mid-loadgen and demand byte-identical
+recovery — the CI gate for the whole fault/checkpoint/replay stack."""
+
+import pytest
+
+from repro.algorithms import WaterFillingPolicy
+from repro.core.instance import WeightedPagingInstance
+from repro.faults import FaultPlan
+from repro.service import PagingService, ServiceConfig, run_load
+from repro.workloads import sample_weights, zipf_stream
+
+N_SHARDS = 4
+N_REQUESTS = 6000
+
+
+def make_service(**kwargs):
+    inst = WeightedPagingInstance(16, sample_weights(128, rng=0, high=16.0))
+    config = ServiceConfig(instance=inst, policy_factory=WaterFillingPolicy,
+                           n_shards=N_SHARDS, batch_size=128, **kwargs)
+    return PagingService(config)
+
+
+def make_workload():
+    return zipf_stream(128, N_REQUESTS, alpha=0.9, rng=1)
+
+
+def run_traced(tmp_path, tag, **service_kwargs):
+    seq = make_workload()
+    svc = make_service(**service_kwargs)
+    trace_dir = tmp_path / tag
+    paths = svc.enable_tracing(trace_dir, sample=0.2, seed=7)
+    with svc:
+        report = run_load(svc, seq, rate=1e9, max_retries=200,
+                          retry_backoff=0.001)
+        assert svc.drain(30.0)
+    return svc, report, paths
+
+
+class TestChaosSmoke:
+    def test_kill_mid_loadgen_recovers_byte_identically(self, tmp_path):
+        base_svc, base_report, base_paths = run_traced(tmp_path, "clean")
+        assert base_report.n_served == N_REQUESTS
+
+        chaos_svc, chaos_report, chaos_paths = run_traced(
+            tmp_path, "chaos",
+            fault_plan=FaultPlan.parse("kill:1@700,delay:0@400:0.005"),
+            checkpoint_interval=500,
+        )
+        # Every request was served despite the mid-run kill...
+        assert chaos_report.n_served == N_REQUESTS
+        assert chaos_report.n_failed_batches == 0
+        # ...to the exact fault-free eviction cost...
+        assert chaos_svc.total_cost() == base_svc.total_cost()
+        snap = chaos_svc.snapshot()
+        assert snap.n_faults_injected == 2
+        assert snap.n_worker_restarts == 1
+        assert snap.n_failed_shards == 0
+        # ...with byte-identical per-shard decision traces.
+        for clean, chaos in zip(base_paths, chaos_paths):
+            assert chaos.read_bytes() == clean.read_bytes()
+            assert clean.stat().st_size > 0
+
+    def test_unrecoverable_kill_leaves_no_hung_tickets(self, tmp_path):
+        seq = make_workload()
+        svc = make_service(fault_plan=FaultPlan.parse("kill:2@500"),
+                           checkpoint_interval=400, max_restarts=0)
+        with svc:
+            report = run_load(svc, seq, rate=1e9, max_retries=20,
+                              drain_timeout=30.0)
+        # The dead shard's slices surface as failed/dropped batches, never
+        # as a hung wait() — run_load itself would time out otherwise.
+        assert report.n_failed_batches > 0 or report.n_dropped_batches > 0
+        assert report.n_served < N_REQUESTS
+        assert report.n_served > 0
+        assert svc.snapshot().n_failed_shards == 1
+
+    def test_recovered_run_matches_inline_cost(self):
+        """No tracing, pure cost determinism under a seeded random plan."""
+        seq = make_workload()
+        inline = make_service()
+        inline.submit_batch(seq.pages, seq.levels)
+
+        # Per-shard logical clocks top out around N_REQUESTS / N_SHARDS.
+        plan = FaultPlan.random(11, N_SHARDS, N_REQUESTS // N_SHARDS,
+                                n_faults=2)
+        svc = make_service(fault_plan=plan, checkpoint_interval=300)
+        with svc:
+            report = run_load(svc, seq, rate=1e9, max_retries=200)
+        assert report.n_served == N_REQUESTS
+        assert svc.total_cost() == pytest.approx(inline.total_cost(), abs=0.0)

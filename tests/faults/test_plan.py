@@ -1,0 +1,121 @@
+"""FaultSpec validation, the CLI grammar, and fire-once poll semantics."""
+
+import pytest
+
+from repro.errors import ServiceConfigError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_known_kinds_construct(self):
+        for kind in FAULT_KINDS:
+            delay = 0.01 if kind == "delay" else 0.0
+            spec = FaultSpec(kind=kind, shard=0, at_request=10, delay_s=delay)
+            assert spec.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceConfigError, match="unknown fault kind"):
+            FaultSpec(kind="explode", shard=0, at_request=1)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ServiceConfigError, match="shard"):
+            FaultSpec(kind="kill", shard=-1, at_request=1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ServiceConfigError, match="at_request"):
+            FaultSpec(kind="kill", shard=0, at_request=-5)
+
+    def test_delay_requires_positive_delay_s(self):
+        with pytest.raises(ServiceConfigError, match="delay_s > 0"):
+            FaultSpec(kind="delay", shard=0, at_request=1)
+        with pytest.raises(ServiceConfigError, match="delay_s"):
+            FaultSpec(kind="delay", shard=0, at_request=1, delay_s=-0.1)
+
+    def test_str_round_trips_through_parse(self):
+        specs = (
+            FaultSpec("kill", 0, 100),
+            FaultSpec("delay", 1, 200, delay_s=0.01),
+            FaultSpec("drop", 2, 50),
+        )
+        plan = FaultPlan.of(*specs)
+        assert FaultPlan.parse(str(plan)).specs == specs
+
+
+class TestParse:
+    def test_parses_all_kinds(self):
+        plan = FaultPlan.parse("kill:0@1000,delay:1@2000:0.01,drop:2@500")
+        assert len(plan) == 3
+        assert plan.specs[0] == FaultSpec("kill", 0, 1000)
+        assert plan.specs[1] == FaultSpec("delay", 1, 2000, delay_s=0.01)
+        assert plan.specs[2] == FaultSpec("drop", 2, 500)
+
+    def test_whitespace_and_blank_tokens_ignored(self):
+        plan = FaultPlan.parse(" kill:0@10 ,, kill:1@20 ")
+        assert len(plan) == 2
+
+    @pytest.mark.parametrize("bad", [
+        "kill", "kill:0", "kill:x@1", "kill:0@y", "kill:0@1:zz", "@5",
+    ])
+    def test_malformed_token_rejected(self, bad):
+        with pytest.raises(ServiceConfigError):
+            FaultPlan.parse(bad)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ServiceConfigError, match="no specs"):
+            FaultPlan.parse("  ,  ")
+
+    def test_semantic_errors_propagate(self):
+        with pytest.raises(ServiceConfigError, match="unknown fault kind"):
+            FaultPlan.parse("explode:0@5")
+
+
+class TestPoll:
+    def test_fires_at_most_once(self):
+        plan = FaultPlan.parse("kill:0@100")
+        assert plan.poll(0, 99) is None
+        spec = plan.poll(0, 100)
+        assert spec == FaultSpec("kill", 0, 100)
+        # Replay passes through the same logical time unharmed.
+        assert plan.poll(0, 100) is None
+        assert plan.poll(0, 10_000) is None
+        assert plan.n_fired == 1
+        assert plan.pending() == ()
+
+    def test_earliest_due_spec_fires_first(self):
+        plan = FaultPlan.parse("kill:0@300,drop:0@100")
+        spec = plan.poll(0, 500)
+        assert spec.at_request == 100
+        assert plan.poll(0, 500).at_request == 300
+
+    def test_shards_are_independent(self):
+        plan = FaultPlan.parse("kill:0@10,kill:1@10")
+        assert plan.poll(1, 50).shard == 1
+        assert plan.poll(1, 50) is None
+        assert plan.pending() == (FaultSpec("kill", 0, 10),)
+        assert plan.poll(0, 50).shard == 0
+
+    def test_late_time_fires_spec_scheduled_earlier(self):
+        # A worker polls with the last time of each batch; a spec inside
+        # the batch's range must fire even though t jumped past it.
+        plan = FaultPlan.parse("kill:0@100")
+        assert plan.poll(0, 127) == FaultSpec("kill", 0, 100)
+
+
+class TestRandom:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(7, 4, 6000, n_faults=3)
+        b = FaultPlan.random(7, 4, 6000, n_faults=3)
+        assert a.specs == b.specs
+
+    def test_times_land_mid_run(self):
+        plan = FaultPlan.random(3, 2, 1000, n_faults=20)
+        for spec in plan.specs:
+            assert 100 <= spec.at_request < 900
+            assert 0 <= spec.shard < 2
+            assert spec.kind == "kill"
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ServiceConfigError):
+            FaultPlan.random(0, 0, 100)
+        with pytest.raises(ServiceConfigError):
+            FaultPlan.random(0, 2, 1)
