@@ -10,9 +10,13 @@ Commands
              machine-checks the paper's Theorem 4.1 / Section 4.2 drift
              inequalities on a live run.
 ``serve``    run a workload through the sharded paging service
-             (:mod:`repro.service`) and print live metric snapshots.
+             (:mod:`repro.service`) and print live metric snapshots —
+             or, with ``--listen``, expose the service over TCP
+             (:mod:`repro.net`) until SIGINT/SIGTERM.
 ``loadgen``  replay a workload against the service at a target request
-             rate and report achieved throughput + tail latency.
+             rate and report achieved throughput + tail latency; with
+             ``--connect`` the load travels over the wire protocol to a
+             running ``serve --listen`` process.
 ``trace``    replay or validate a JSONL decision trace produced by
              ``run --trace`` / ``serve --trace-dir`` (:mod:`repro.obs`).
 
@@ -34,6 +38,9 @@ Examples
     python -m repro serve --faults kill:0@600 --checkpoint-interval 500
     python -m repro loadgen --rate 100000 --shards 4 --retry 5 \
         --on-overload retry
+    python -m repro serve --listen 127.0.0.1:7411 --shards 4
+    python -m repro loadgen --connect 127.0.0.1:7411 --connections 4 \
+        --window 8 --rate 50000
 """
 
 from __future__ import annotations
@@ -164,6 +171,26 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_service_args(serve)
     serve.add_argument("--snapshot-every", type=int, default=0, metavar="N",
                        help="print a metrics snapshot every N batches")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve the repro.net wire protocol instead of "
+                            "streaming the workload (port 0 picks a free "
+                            "port; runs until SIGINT/SIGTERM)")
+    serve.add_argument("--max-connections", type=int, default=64, metavar="N",
+                       help="connection cap before new sockets are refused")
+    serve.add_argument("--inflight", type=int, default=32, metavar="N",
+                       help="per-connection in-flight submits before the "
+                            "oldest is shed")
+    serve.add_argument("--deadline", type=float, default=30.0, metavar="S",
+                       help="server-side seconds before an unresolved "
+                            "submit is answered 'deadline'")
+    serve.add_argument("--net-faults", default=None, metavar="SPEC",
+                       help="inject faults at the network boundary "
+                            "(kind:conn@req[:delay_s], kinds "
+                            "kill/delay/drop; conn = connection index, "
+                            "req = per-connection submit index)")
+    serve.add_argument("--stop-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="single shared deadline for the shutdown drain")
 
     loadgen = sub.add_parser(
         "loadgen", help="rate-paced load generation against the service"
@@ -181,6 +208,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="retry",
                          help="client policy for Overloaded rejections: "
                               "retry with backoff, or shed immediately")
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="drive a remote `serve --listen` server over "
+                              "TCP instead of an in-process service")
+    loadgen.add_argument("--connections", type=int, default=1, metavar="N",
+                         help="client connections to open (--connect only)")
+    loadgen.add_argument("--window", type=int, default=1, metavar="N",
+                         help="pipelined submits per connection "
+                              "(--connect only; 1 = strict round-trips)")
+    loadgen.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                         help="client-side reply timeout (--connect only)")
     return parser
 
 
@@ -483,9 +520,49 @@ def _start_metrics_server(args, service):
     return server
 
 
+class _SignalStop:
+    """Installs SIGINT/SIGTERM handlers that flip one event.
+
+    Both serve modes share the contract: the first signal requests a
+    graceful stop (finish in-flight work, drain within ``--stop-timeout``,
+    print the final snapshot, exit 0) instead of dying mid-batch with a
+    traceback.  Previous handlers are restored on exit so tests can
+    install and tear down repeatedly in one process.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self.event = threading.Event()
+        self._previous: dict[int, object] = {}
+
+    def __enter__(self) -> "_SignalStop":
+        import signal
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[sig] = signal.signal(
+                    sig, lambda signum, frame: self.event.set())
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import signal
+
+        for sig, handler in self._previous.items():
+            signal.signal(sig, handler)
+
+    @property
+    def requested(self) -> bool:
+        return self.event.is_set()
+
+
 def _cmd_serve(args) -> int:
     from time import perf_counter
 
+    if args.listen is not None:
+        return _cmd_serve_net(args)
     service, seq = _make_service(args)
     if service is None:
         return 2
@@ -494,13 +571,17 @@ def _cmd_serve(args) -> int:
     print(f"serving {len(seq)} requests through {service!r}\n")
     started = perf_counter()
     try:
-        with service:
+        with _SignalStop() as stop, service:
             n_failed_batches = 0
             for i, lo in enumerate(range(0, len(seq), b)):
+                if stop.requested:
+                    print("signal received: draining and stopping")
+                    break
                 result = service.submit_batch(seq.pages[lo:lo + b],
                                               seq.levels[lo:lo + b])
                 while (not result.accepted
-                       and getattr(result, "retryable", True)):
+                       and getattr(result, "retryable", True)
+                       and not stop.requested):
                     service.drain(0.01)
                     result = service.submit_batch(seq.pages[lo:lo + b],
                                                   seq.levels[lo:lo + b])
@@ -510,7 +591,7 @@ def _cmd_serve(args) -> int:
                     n_failed_batches += 1
                 if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
                     print(service.snapshot().render())
-            service.drain()
+            service.drain(args.stop_timeout if stop.requested else None)
             elapsed = perf_counter() - started
             snap = service.snapshot()
     finally:
@@ -525,9 +606,104 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_net(args) -> int:
+    """``serve --listen``: expose the service over TCP until signaled.
+
+    Shutdown order is the graceful-drain contract pinned by the tests:
+    close the listening socket first (no new connections or requests),
+    then stop the service under one shared ``--stop-timeout`` deadline,
+    then print the final snapshot and exit 0.
+    """
+    from repro.errors import ServiceConfigError
+    from repro.net import AdmissionPolicy, NetServer, parse_address
+
+    service, _ = _make_service(args)
+    if service is None:
+        return 2
+    try:
+        host, port = parse_address(args.listen)
+        admission = AdmissionPolicy(
+            max_connections=args.max_connections,
+            max_inflight=args.inflight,
+            request_deadline_s=args.deadline,
+        )
+    except (ValueError, ServiceConfigError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    net_faults = None
+    if args.net_faults is not None:
+        from repro.faults import FaultPlan
+
+        net_faults = FaultPlan.parse(args.net_faults)
+        print(f"net fault plan: {net_faults} "
+              "(shard = connection index, t = submit index)")
+    metrics_server = _start_metrics_server(args, service)
+    net = None
+    try:
+        with _SignalStop() as stop:
+            service.start()
+            net = NetServer(service, host=host, port=port,
+                            admission=admission, fault_plan=net_faults)
+            try:
+                net.start()
+            except OSError as exc:
+                print(f"cannot listen on {args.listen}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"listening on {net.host}:{net.port}", flush=True)
+            print(f"admission: {admission.max_connections} connections, "
+                  f"{admission.max_inflight} in-flight each, "
+                  f"{admission.request_deadline_s:g}s deadline", flush=True)
+            stop.event.wait()
+        print(f"signal received: closing listener, draining service "
+              f"(timeout {args.stop_timeout:g}s)")
+    finally:
+        if net is not None:
+            net.stop()
+        service.stop(args.stop_timeout)
+        if metrics_server is not None:
+            metrics_server.stop()
+    print(service.snapshot().render())
+    return 0
+
+
+def _cmd_loadgen_net(args) -> int:
+    """``loadgen --connect``: drive a remote server over the wire protocol."""
+    from repro.net import RemoteError, parse_address, run_network_load
+
+    try:
+        parse_address(args.connect)
+    except ValueError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
+    _, seq = _make_workload(args)
+    print(f"load: {len(seq)} requests at {args.rate:,.0f} req/s over "
+          f"{args.connections} connection(s) to {args.connect} "
+          f"(window {args.window}, on_overload={args.on_overload})\n")
+    try:
+        report = run_network_load(
+            args.connect, seq,
+            rate=args.rate,
+            batch_size=args.batch_size,
+            connections=args.connections,
+            window=args.window,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            on_overload=args.on_overload,
+        )
+    except (OSError, RemoteError) as exc:
+        print(f"network load failed: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.n_served else 1
+
+
 def _cmd_loadgen(args) -> int:
     from repro.service import run_load
 
+    if args.connect is not None:
+        return _cmd_loadgen_net(args)
     service, seq = _make_service(args)
     if service is None:
         return 2

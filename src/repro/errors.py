@@ -50,6 +50,29 @@ class TraceFormatError(ReproError, ValueError):
     """A serialized trace file could not be parsed."""
 
 
+class FrameError(ReproError, ValueError):
+    """A :mod:`repro.net` wire frame could not be decoded.
+
+    The codec never lets a malformed byte stream escape as anything else:
+    every decode failure is this class or a subclass, each carrying a
+    stable ``code`` the server echoes back in a typed ``Error`` response.
+    """
+
+    code = "decode"
+
+
+class FrameTooLargeError(FrameError):
+    """A frame header announced a payload over the configured cap."""
+
+    code = "frame_too_large"
+
+
+class ProtocolVersionError(FrameError):
+    """A frame header carried an unsupported protocol version."""
+
+    code = "bad_version"
+
+
 class ServiceConfigError(ReproError, ValueError):
     """A :mod:`repro.service` configuration is inconsistent.
 

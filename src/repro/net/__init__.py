@@ -1,0 +1,73 @@
+"""repro.net — a TCP frontend for the paging service.
+
+The network layer in four pieces:
+
+* :mod:`repro.net.frame` — the wire protocol: length-prefixed, versioned
+  frames carrying typed JSON messages, with a decoder that turns
+  malformed input into error *events* instead of exceptions;
+* :mod:`repro.net.admission` — the server's admission knobs (connection
+  cap, per-connection in-flight window with oldest-first shedding,
+  server-side request deadline);
+* :mod:`repro.net.server` — :class:`NetServer`, an asyncio listener on a
+  daemon thread bridging socket traffic onto a
+  :class:`~repro.service.server.PagingService` without blocking its
+  event loop on ticket completion;
+* :mod:`repro.net.client` / :mod:`repro.net.loadgen` —
+  :class:`PagingClient` (round-trip and pipelined submission with
+  overload retry) and :func:`run_network_load`, the wire twin of the
+  inline load generator.
+
+The contract worth testing: a workload streamed through the server
+produces per-shard ledgers and decision traces *byte-identical* to
+submitting the same batches inline — the network is a transport, never
+an observer effect.
+"""
+
+from repro.net.admission import AdmissionPolicy, ConnectionGate, InflightWindow
+from repro.net.client import NetSubmitResult, PagingClient, RemoteError, parse_address
+from repro.net.frame import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Drain,
+    DrainReply,
+    Error,
+    FrameDecoder,
+    Ping,
+    Pong,
+    Snapshot,
+    SnapshotReply,
+    SubmitAck,
+    SubmitBatch,
+    encode,
+    message_from_payload,
+    message_to_payload,
+)
+from repro.net.loadgen import run_network_load
+from repro.net.server import NetServer
+
+__all__ = [
+    "AdmissionPolicy",
+    "ConnectionGate",
+    "InflightWindow",
+    "NetServer",
+    "NetSubmitResult",
+    "PagingClient",
+    "RemoteError",
+    "parse_address",
+    "run_network_load",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "encode",
+    "message_to_payload",
+    "message_from_payload",
+    "SubmitBatch",
+    "SubmitAck",
+    "Snapshot",
+    "SnapshotReply",
+    "Drain",
+    "DrainReply",
+    "Ping",
+    "Pong",
+    "Error",
+]

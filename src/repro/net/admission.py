@@ -1,0 +1,119 @@
+"""Admission control for the network frontend.
+
+Three knobs, enforced in this order on every connection:
+
+1. **Connection cap** (:class:`ConnectionGate`) — a socket past
+   ``max_connections`` is answered with a ``too_many_connections`` error
+   and closed before any request is read.
+2. **Per-connection in-flight window** (:class:`InflightWindow`) — each
+   connection may have at most ``max_inflight`` submits awaiting a
+   response.  A submit past the cap does not stall the reader: the
+   *oldest* outstanding request is shed (answered ``shed`` immediately)
+   and the fresh one admitted — under overload the server prefers
+   answering recent traffic over queueing stale responses.
+3. **Request deadline** — every admitted submit carries a server-side
+   deadline; a batch that has not resolved by then is answered
+   ``deadline`` and counted, so a stalled shard cannot pin response
+   slots forever.
+
+All of this is event-loop-local state: methods are called from the
+server's single asyncio thread, so there is no locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ServiceConfigError
+from repro.net.frame import DEFAULT_MAX_FRAME_BYTES
+
+__all__ = ["AdmissionPolicy", "ConnectionGate", "InflightWindow"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The server's admission knobs, validated once at construction."""
+
+    max_connections: int = 64
+    max_inflight: int = 32
+    request_deadline_s: float = 30.0
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ServiceConfigError(
+                f"max_connections must be >= 1, got {self.max_connections}"
+            )
+        if self.max_inflight < 1:
+            raise ServiceConfigError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.request_deadline_s <= 0:
+            raise ServiceConfigError(
+                f"request_deadline_s must be > 0, got {self.request_deadline_s}"
+            )
+        if self.max_frame_bytes < 1:
+            raise ServiceConfigError(
+                f"max_frame_bytes must be >= 1, got {self.max_frame_bytes}"
+            )
+
+
+class ConnectionGate:
+    """Counts live connections against a fixed cap."""
+
+    __slots__ = ("max_connections", "active", "n_rejected")
+
+    def __init__(self, max_connections: int) -> None:
+        self.max_connections = max_connections
+        self.active = 0
+        self.n_rejected = 0
+
+    def try_acquire(self) -> bool:
+        """Claim a connection slot; False (and counted) when full."""
+        if self.active >= self.max_connections:
+            self.n_rejected += 1
+            return False
+        self.active += 1
+        return True
+
+    def release(self) -> None:
+        """Return a slot claimed by :meth:`try_acquire`."""
+        self.active -= 1
+
+
+class InflightWindow:
+    """One connection's outstanding submits, oldest first.
+
+    ``admit`` inserts a new entry and, when the window is already at its
+    cap, evicts and returns the oldest unresolved entry — the victim the
+    server answers ``shed``.  Entries resolve out of order (pipelined
+    responses), so the window is an ordered map, not a ring.
+    """
+
+    __slots__ = ("cap", "_entries")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self._entries: OrderedDict[int, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def admit(self, request_id: int, entry: object) -> object | None:
+        """Track ``entry``; returns the shed victim when over the cap."""
+        victim = None
+        if len(self._entries) >= self.cap:
+            _, victim = self._entries.popitem(last=False)
+        self._entries[request_id] = entry
+        return victim
+
+    def resolve(self, request_id: int) -> None:
+        """Drop a completed (or shed) request from the window."""
+        self._entries.pop(request_id, None)
+
+    def drain(self) -> list:
+        """Remove and return every outstanding entry (connection teardown)."""
+        entries = list(self._entries.values())
+        self._entries.clear()
+        return entries

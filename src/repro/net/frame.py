@@ -1,0 +1,387 @@
+"""Length-prefixed binary framing with typed JSON payloads.
+
+One frame on the wire is::
+
+    +----------------+---------+------------------------+
+    | payload length | version |     JSON payload       |
+    |   uint32 (BE)  |  uint8  |  {"type": ..., ...}    |
+    +----------------+---------+------------------------+
+
+The 5-byte header carries the payload length and the protocol version;
+the payload is one JSON object whose ``type`` field selects a typed
+message dataclass.  Requests carry a client-chosen ``id`` that the
+matching response echoes, so responses may arrive out of order
+(pipelining) and still be matched.
+
+Decoding is *stream-safe by construction*: :class:`FrameDecoder.feed`
+never raises.  Truncated input simply waits for more bytes; an oversized
+length prefix, an unknown version, or garbage JSON each yield a typed
+:class:`~repro.errors.FrameError` *event* in the returned list, and the
+decoder skips the bad frame's announced payload so a compliant peer stays
+in sync.  Servers map these events to :class:`Error` responses instead of
+killing the connection.
+
+Message catalog
+---------------
+Requests: :class:`SubmitBatch`, :class:`Snapshot`, :class:`Drain`,
+:class:`Ping`.  Responses: :class:`SubmitAck` (whose ``status`` maps the
+service's :class:`~repro.service.ingest.Overloaded` /
+:class:`~repro.service.ingest.Failed` / shed / deadline outcomes onto the
+wire), :class:`SnapshotReply`, :class:`DrainReply`, :class:`Pong`, and
+:class:`Error` for protocol-level failures.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import MISSING as DC_MISSING
+from dataclasses import dataclass, field, fields
+from typing import ClassVar
+
+from repro.errors import FrameError, FrameTooLargeError, ProtocolVersionError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "STATUSES",
+    "SubmitBatch",
+    "SubmitAck",
+    "Snapshot",
+    "SnapshotReply",
+    "Drain",
+    "DrainReply",
+    "Ping",
+    "Pong",
+    "Error",
+    "MESSAGE_TYPES",
+    "encode",
+    "message_to_payload",
+    "message_from_payload",
+    "FrameDecoder",
+]
+
+#: Current wire protocol version, carried in every frame header.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">IB")  # payload length, protocol version
+HEADER_SIZE = _HEADER.size
+
+#: Default cap on a single frame's payload (8 MiB — a 512-request batch
+#: is a few KiB, so this is generous headroom, not a tight budget).
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Terminal states a submit can resolve to, as reported in
+#: :attr:`SubmitAck.status`.
+#:
+#: * ``ok`` — every shard served its slice.
+#: * ``overloaded`` — the service's bounded queues rejected the batch;
+#:   transient, resubmit later (maps :class:`~repro.service.ingest.Overloaded`).
+#: * ``failed`` — a target shard is permanently down (maps
+#:   :class:`~repro.service.ingest.Failed` or a failed ticket).
+#: * ``shed`` — the server's per-connection in-flight window overflowed
+#:   and this (oldest) request's response slot was given away.
+#: * ``deadline`` — the server-side deadline expired before the batch
+#:   resolved; its fate is unknown to the client.
+STATUSES = ("ok", "overloaded", "failed", "shed", "deadline")
+
+MESSAGE_TYPES: dict[str, type] = {}
+
+
+def _register(cls: type) -> type:
+    MESSAGE_TYPES[cls.type] = cls
+    return cls
+
+
+def _int_tuple(values) -> tuple[int, ...]:
+    try:
+        return tuple(int(v) for v in values)
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"expected a sequence of integers: {exc}") from exc
+
+
+@_register
+@dataclass(frozen=True)
+class SubmitBatch:
+    """Submit one micro-batch; ``levels`` empty means all-ones."""
+
+    type: ClassVar[str] = "submit"
+    id: int
+    pages: tuple[int, ...]
+    levels: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pages", _int_tuple(self.pages))
+        object.__setattr__(self, "levels", _int_tuple(self.levels))
+
+
+@_register
+@dataclass(frozen=True)
+class SubmitAck:
+    """Terminal response for one :class:`SubmitBatch` (see :data:`STATUSES`)."""
+
+    type: ClassVar[str] = "submit_ack"
+    id: int
+    status: str
+    n_requests: int = 0
+    shard: int = -1
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise FrameError(
+                f"unknown submit status {self.status!r}; expected one of {STATUSES}"
+            )
+
+    @property
+    def accepted(self) -> bool:
+        """True when the batch was fully served (mirrors ticket ``ok``)."""
+        return self.status == "ok"
+
+    @property
+    def retryable(self) -> bool:
+        """True when resubmitting the same batch may succeed later."""
+        return self.status == "overloaded"
+
+
+@_register
+@dataclass(frozen=True)
+class Snapshot:
+    """Request a point-in-time service snapshot."""
+
+    type: ClassVar[str] = "snapshot"
+    id: int
+
+
+@_register
+@dataclass(frozen=True)
+class SnapshotReply:
+    """The :meth:`~repro.service.metrics.ServiceSnapshot.to_dict` payload."""
+
+    type: ClassVar[str] = "snapshot_reply"
+    id: int
+    snapshot: dict = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class Drain:
+    """Block until all accepted work is served (``timeout`` seconds cap)."""
+
+    type: ClassVar[str] = "drain"
+    id: int
+    timeout: float | None = None
+
+
+@_register
+@dataclass(frozen=True)
+class DrainReply:
+    """``ok`` is False when the drain timed out with work in flight."""
+
+    type: ClassVar[str] = "drain_reply"
+    id: int
+    ok: bool = True
+
+
+@_register
+@dataclass(frozen=True)
+class Ping:
+    """Liveness/RTT probe."""
+
+    type: ClassVar[str] = "ping"
+    id: int
+
+
+@_register
+@dataclass(frozen=True)
+class Pong:
+    """Answer to :class:`Ping`."""
+
+    type: ClassVar[str] = "pong"
+    id: int
+
+
+@_register
+@dataclass(frozen=True)
+class Error:
+    """Protocol-level failure for request ``id`` (0 = connection-level).
+
+    ``code`` is stable and machine-checkable: ``decode``,
+    ``frame_too_large``, ``bad_version``, ``bad_request``,
+    ``too_many_connections``, ``unavailable``, or ``internal``.
+    """
+
+    type: ClassVar[str] = "error"
+    id: int
+    code: str = "internal"
+    message: str = ""
+
+
+def _jsonify(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def message_to_payload(msg) -> dict:
+    """The JSON-ready payload dict for one typed message."""
+    payload = {"type": msg.type}
+    for f in fields(msg):
+        payload[f.name] = _jsonify(getattr(msg, f.name))
+    return payload
+
+
+def _is_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+_FIELD_CHECKS = {
+    "id": ("an integer", _is_int),
+    "n_requests": ("an integer", _is_int),
+    "shard": ("an integer", _is_int),
+    "pages": ("a list of integers", lambda v: isinstance(v, (list, tuple))),
+    "levels": ("a list of integers", lambda v: isinstance(v, (list, tuple))),
+    "status": ("a string", lambda v: isinstance(v, str)),
+    "detail": ("a string", lambda v: isinstance(v, str)),
+    "code": ("a string", lambda v: isinstance(v, str)),
+    "message": ("a string", lambda v: isinstance(v, str)),
+    "snapshot": ("an object", lambda v: isinstance(v, dict)),
+    "ok": ("a boolean", lambda v: isinstance(v, bool)),
+    "timeout": ("a number or null",
+                lambda v: v is None or (isinstance(v, (int, float))
+                                        and not isinstance(v, bool))),
+}
+
+_MISSING = object()
+
+
+def message_from_payload(payload) -> object:
+    """Build the typed message for one decoded JSON payload.
+
+    Every malformed shape — not a dict, unknown ``type``, missing or
+    mistyped fields — raises :class:`~repro.errors.FrameError`, never
+    anything else.
+    """
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame payload must be an object, got {type(payload).__name__}")
+    mtype = payload.get("type")
+    cls = MESSAGE_TYPES.get(mtype)
+    if cls is None:
+        raise FrameError(f"unknown message type {mtype!r}")
+    kwargs = {}
+    for f in fields(cls):
+        value = payload.get(f.name, _MISSING)
+        if value is _MISSING:
+            # Required fields are exactly those without a default.
+            if f.default is DC_MISSING and f.default_factory is DC_MISSING:
+                raise FrameError(f"{cls.type} frame is missing field {f.name!r}")
+            continue
+        expected, check = _FIELD_CHECKS[f.name]
+        if not check(value):
+            raise FrameError(
+                f"{cls.type} field {f.name!r} must be {expected}, "
+                f"got {type(value).__name__}"
+            )
+        if f.name == "timeout" and value is not None:
+            value = float(value)
+        kwargs[f.name] = value
+    try:
+        return cls(**kwargs)
+    except FrameError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"bad {cls.type} frame: {exc}") from exc
+
+
+def encode(msg, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """One wire frame for ``msg``; raises if it exceeds ``max_frame_bytes``."""
+    payload = json.dumps(
+        message_to_payload(msg), separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"{msg.type} frame payload is {len(payload)} bytes, "
+            f"over the {max_frame_bytes}-byte cap"
+        )
+    return _HEADER.pack(len(payload), PROTOCOL_VERSION) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary byte stream.
+
+    :meth:`feed` returns a list of *events*: decoded messages interleaved
+    with :class:`~repro.errors.FrameError` instances for frames that were
+    rejected (oversized, wrong version, undecodable payload).  It never
+    raises — the caller decides whether an error event is fatal (clients)
+    or answered with a typed :class:`Error` response (servers).  After a
+    rejected header the decoder discards that frame's announced payload,
+    so a stream from a compliant-but-unlucky peer re-synchronizes at the
+    next frame boundary.
+    """
+
+    __slots__ = ("max_frame_bytes", "n_frames", "n_errors", "_buf", "_skip")
+
+    def __init__(self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError(f"max_frame_bytes must be >= 1, got {max_frame_bytes}")
+        self.max_frame_bytes = max_frame_bytes
+        #: Frames decoded into messages / frames rejected, over the lifetime.
+        self.n_frames = 0
+        self.n_errors = 0
+        self._buf = bytearray()
+        self._skip = 0
+
+    def __len__(self) -> int:
+        """Bytes currently buffered awaiting a complete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list:
+        """Consume ``data``; return decoded messages and error events."""
+        self._buf += data
+        events: list = []
+        while True:
+            if self._skip:
+                taken = min(self._skip, len(self._buf))
+                del self._buf[:taken]
+                self._skip -= taken
+                if self._skip:
+                    break
+            if len(self._buf) < HEADER_SIZE:
+                break
+            length, version = _HEADER.unpack_from(self._buf)
+            if version != PROTOCOL_VERSION:
+                events.append(ProtocolVersionError(
+                    f"unsupported protocol version {version} "
+                    f"(this peer speaks {PROTOCOL_VERSION})"
+                ))
+                self.n_errors += 1
+                del self._buf[:HEADER_SIZE]
+                self._skip = length
+                continue
+            if length > self.max_frame_bytes:
+                events.append(FrameTooLargeError(
+                    f"frame announces a {length}-byte payload, over the "
+                    f"{self.max_frame_bytes}-byte cap"
+                ))
+                self.n_errors += 1
+                del self._buf[:HEADER_SIZE]
+                self._skip = length
+                continue
+            if len(self._buf) < HEADER_SIZE + length:
+                break
+            payload = bytes(self._buf[HEADER_SIZE:HEADER_SIZE + length])
+            del self._buf[:HEADER_SIZE + length]
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                events.append(FrameError(f"undecodable frame payload: {exc}"))
+                self.n_errors += 1
+                continue
+            try:
+                events.append(message_from_payload(decoded))
+                self.n_frames += 1
+            except FrameError as exc:
+                events.append(exc)
+                self.n_errors += 1
+        return events

@@ -1,0 +1,223 @@
+"""Networked load generation: drive a remote server with N connections.
+
+:func:`run_network_load` is the wire twin of
+:func:`repro.service.loadgen.run_load`: it replays the same request
+sequence under the same open-loop pacing (batch ``i`` due at ``start +
+i·B/rate``, globally — all connections share one clock) and produces the
+same :class:`~repro.service.loadgen.LoadReport`, so networked and inline
+numbers sit side by side in one table.
+
+Concurrency model: one thread per connection, each owning one
+:class:`~repro.net.PagingClient` (clients are not thread-safe; threads
+never share one).  Batches are dealt round-robin by global batch index,
+which keeps the pacing clock honest — connection ``c`` handles batches
+``c, c+C, c+2C, …`` and sleeps until each batch's *global* due time.
+
+``window`` controls per-connection pipelining: 1 means strict
+round-trips (submit, wait, next); larger values use
+``submit_nowait``/``collect_any`` to keep up to ``window`` submits in
+flight, reaping completions only when the window is full or the stream
+ends.  Overloaded acks honor ``on_overload`` exactly like the inline
+generator: ``"retry"`` resubmits with capped backoff (round-trip mode)
+or immediate resubmission (pipelined mode, where the window itself is
+the backoff), ``"shed"`` drops and counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter, sleep
+
+from repro.core.requests import RequestSequence
+from repro.net.client import NetSubmitResult, PagingClient
+from repro.service.loadgen import LoadReport, summarize_latencies
+
+__all__ = ["run_network_load"]
+
+
+class _ConnStats:
+    """Accounting gathered by one connection thread."""
+
+    __slots__ = ("latencies", "n_served", "n_batches", "n_overloaded",
+                 "n_dropped", "n_failed", "error")
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.n_served = 0
+        self.n_batches = 0
+        self.n_overloaded = 0
+        self.n_dropped = 0
+        self.n_failed = 0
+        self.error: BaseException | None = None
+
+    def absorb(self, result: NetSubmitResult) -> None:
+        """Fold one final ack into the tallies."""
+        self.n_overloaded += result.retries
+        if result.ok:
+            self.n_batches += 1
+            self.n_served += result.n_requests
+            self.latencies.append(result.latency_s)
+        elif result.status == "failed":
+            self.n_batches += 1
+            self.n_failed += 1
+        else:  # overloaded (retries exhausted), shed, deadline
+            if result.status == "overloaded":
+                self.n_overloaded += 1
+            self.n_dropped += 1
+
+
+def _drive_connection(
+    address: str,
+    batches: list[tuple[float, object, object]],
+    stats: _ConnStats,
+    *,
+    window: int,
+    timeout: float,
+    max_retries: int,
+    retry_backoff: float,
+    on_overload: str,
+    started: float,
+) -> None:
+    """Thread body: replay this connection's slice of the batch stream."""
+    try:
+        client = PagingClient(address, timeout=timeout, retries=max_retries,
+                              retry_backoff=retry_backoff)
+        with client:
+            if window <= 1:
+                for due, pages, levels in batches:
+                    now = perf_counter()
+                    if now < started + due:
+                        sleep(started + due - now)
+                    stats.absorb(client.submit_batch(
+                        pages, levels, on_overload=on_overload))
+                return
+            # Pipelined: keep up to ``window`` submits in flight; an
+            # overloaded ack is resubmitted immediately (the open window
+            # already provides the pushback a sleep would).
+            budgets: dict[int, tuple[object, object, int]] = {}
+            it = iter(batches)
+
+            def reap() -> None:
+                rid, result = client.collect_any()
+                pages, levels, attempts = budgets.pop(rid)
+                if (result.retryable and on_overload == "retry"
+                        and attempts < max_retries):
+                    stats.n_overloaded += 1
+                    nrid = client.submit_nowait(pages, levels)
+                    budgets[nrid] = (pages, levels, attempts + 1)
+                else:
+                    stats.absorb(result)
+
+            for due, pages, levels in it:
+                now = perf_counter()
+                if now < started + due:
+                    sleep(started + due - now)
+                while client.inflight >= window:
+                    reap()
+                rid = client.submit_nowait(pages, levels)
+                budgets[rid] = (pages, levels, 0)
+            while client.inflight:
+                reap()
+    except BaseException as exc:  # noqa: BLE001 - reported via the stats
+        stats.error = exc
+
+
+def run_network_load(
+    address: str | tuple[str, int],
+    seq: RequestSequence,
+    *,
+    rate: float = 100_000.0,
+    batch_size: int = 256,
+    connections: int = 1,
+    window: int = 1,
+    timeout: float = 10.0,
+    max_retries: int = 3,
+    retry_backoff: float = 0.001,
+    on_overload: str = "retry",
+    drain_timeout: float | None = 30.0,
+) -> LoadReport:
+    """Replay ``seq`` against a remote server at ``rate`` requests/second.
+
+    Opens ``connections`` sockets, deals batches round-robin across them,
+    and reports the merged :class:`LoadReport`.  A connection thread that
+    dies (transport failure) re-raises after the others finish — partial
+    accounting is never silently reported as a healthy run.  The service
+    is drained through the wire before reporting, so a subsequent
+    snapshot covers every accepted request.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if on_overload not in ("retry", "shed"):
+        raise ValueError(
+            f"on_overload must be 'retry' or 'shed', got {on_overload!r}")
+    pages, levels = seq.pages, seq.levels
+    n = len(seq)
+    # Deal batches round-robin by global index; each keeps its *global*
+    # open-loop due offset so C connections still offer ``rate`` req/s.
+    slices: list[list[tuple[float, object, object]]] = [
+        [] for _ in range(connections)
+    ]
+    for i, lo in enumerate(range(0, n, batch_size)):
+        slices[i % connections].append(
+            (lo / rate, pages[lo:lo + batch_size], levels[lo:lo + batch_size])
+        )
+    stats = [_ConnStats() for _ in range(connections)]
+    addr = parse_host(address)
+    started = perf_counter()
+    threads = [
+        threading.Thread(
+            target=_drive_connection,
+            args=(addr, slices[c], stats[c]),
+            kwargs=dict(window=window, timeout=timeout,
+                        max_retries=0 if on_overload == "shed" else max_retries,
+                        retry_backoff=retry_backoff, on_overload=on_overload,
+                        started=started),
+            name=f"repro-netload-{c}",
+            daemon=True,
+        )
+        for c in range(connections)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for s in stats:
+        if s.error is not None:
+            raise s.error
+    # Drain over a fresh control connection so the post-run snapshot
+    # covers every accepted batch, mirroring the inline generator.
+    with PagingClient(address, timeout=max(timeout, drain_timeout or timeout)) as ctl:
+        ctl.drain(drain_timeout)
+    duration = perf_counter() - started
+    latencies = [v for s in stats for v in s.latencies]
+    n_served = sum(s.n_served for s in stats)
+    n_batches = sum(s.n_batches for s in stats)
+    p50, p95, p99 = summarize_latencies(latencies)
+    return LoadReport(
+        target_rate=float(rate),
+        achieved_rate=n_served / duration if duration > 0 else 0.0,
+        duration_s=duration,
+        n_requests=n,
+        n_served=n_served,
+        n_batches=n_batches,
+        n_overloaded=sum(s.n_overloaded for s in stats),
+        n_dropped_batches=sum(s.n_dropped for s in stats),
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
+        n_failed_batches=sum(s.n_failed for s in stats),
+        rejected_all=n_batches == 0,
+    )
+
+
+def parse_host(address: str | tuple[str, int]) -> str:
+    """Normalize an address to the ``host:port`` string clients accept."""
+    if isinstance(address, tuple):
+        return f"{address[0]}:{address[1]}"
+    return address

@@ -1,0 +1,462 @@
+"""Asyncio TCP frontend for a :class:`~repro.service.server.PagingService`.
+
+:class:`NetServer` owns a listening socket and an event loop on a
+dedicated daemon thread (the same lifecycle shape as
+:class:`~repro.obs.MetricsServer`): ``start()`` binds and returns once the
+port is known, ``stop()`` closes the *listener first* and then tears down
+live connections, so a graceful shutdown can drain the backing service
+with no new work arriving.
+
+Request flow per connection (all on the event loop)::
+
+    bytes -> FrameDecoder -> admission -> service.submit_batch -> ticket
+                                                            |
+         SubmitAck <- deadline-bounded await <- done-callback bridge
+
+The service's :class:`~repro.service.ingest.BatchTicket` resolves on a
+shard worker thread; :meth:`BatchTicket.add_done_callback` bridges that
+completion into the loop via ``call_soon_threadsafe`` — the event loop
+never blocks in ``ticket.wait``.  Slow batches are bounded by a
+server-side deadline (answered ``deadline``), bursts beyond the
+per-connection window shed the oldest response slot (answered ``shed``),
+and the service's own :class:`~repro.service.ingest.Overloaded` /
+:class:`~repro.service.ingest.Failed` rejections map onto ``SubmitAck``
+statuses — the client always gets a typed answer, never a hang.
+
+Chaos coverage extends to the socket path: an optional
+:class:`~repro.faults.FaultPlan` is polled per connection (``shard`` =
+connection index, logical time = submits seen on that connection);
+``delay`` sleeps before processing, ``drop`` swallows the request
+(client-visible as a timeout), ``kill`` closes the connection abruptly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import (
+    FrameError,
+    InvalidInstanceError,
+    InvalidRequestError,
+    ServiceStateError,
+)
+from repro.net.admission import AdmissionPolicy, ConnectionGate, InflightWindow
+from repro.net.frame import (
+    Drain,
+    DrainReply,
+    Error,
+    FrameDecoder,
+    Ping,
+    Pong,
+    Snapshot,
+    SnapshotReply,
+    SubmitAck,
+    SubmitBatch,
+    encode,
+)
+from repro.service.ingest import BatchTicket, Failed, Overloaded
+from repro.service.server import PagingService
+
+__all__ = ["NetServer"]
+
+
+class _Request:
+    """One outstanding submit on one connection."""
+
+    __slots__ = ("id", "n_requests", "started", "responded")
+
+    def __init__(self, request_id: int, n_requests: int, started: float) -> None:
+        self.id = request_id
+        self.n_requests = n_requests
+        self.started = started
+        #: Exactly one SubmitAck per request id: set when any path (shed,
+        #: deadline, completion) claims the response slot.
+        self.responded = False
+
+
+class _Connection:
+    """Per-connection state owned by the event loop."""
+
+    __slots__ = ("id", "writer", "window", "write_lock", "n_submits", "open")
+
+    def __init__(self, conn_id: int, writer: asyncio.StreamWriter,
+                 window: InflightWindow) -> None:
+        self.id = conn_id
+        self.writer = writer
+        self.window = window
+        self.write_lock = asyncio.Lock()
+        #: Logical clock for net-level fault injection: submits seen.
+        self.n_submits = 0
+        self.open = True
+
+
+class NetServer:
+    """Serves the wire protocol for one backing :class:`PagingService`.
+
+    The server does not own the service's lifecycle: start the service
+    (threaded mode) before accepting traffic and stop it after
+    :meth:`stop` — with an inline service every submit is served on the
+    event loop thread, which works but serializes connections.
+    """
+
+    def __init__(
+        self,
+        service: PagingService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: AdmissionPolicy | None = None,
+        fault_plan=None,
+        registry=None,
+    ) -> None:
+        self.service = service
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self._host = host
+        self._requested_port = port
+        self._plan = fault_plan
+        reg = registry if registry is not None else service.registry
+        self._m_connections = reg.counter(
+            "repro_net_connections_total", "Connections accepted")
+        self._m_conn_rejected = reg.counter(
+            "repro_net_connections_rejected_total",
+            "Connections refused at the max_connections gate")
+        self._m_active = reg.gauge(
+            "repro_net_active_connections", "Currently open connections")
+        self._m_requests = reg.counter(
+            "repro_net_requests_total", "Messages received", ("kind",))
+        self._m_bytes = reg.counter(
+            "repro_net_bytes_total", "Bytes moved over the wire", ("direction",))
+        self._m_inflight = reg.gauge(
+            "repro_net_inflight", "Submits awaiting a response")
+        self._m_decode_errors = reg.counter(
+            "repro_net_decode_errors_total", "Frames rejected by the codec")
+        self._m_deadline = reg.counter(
+            "repro_net_deadline_drops_total",
+            "Submits answered 'deadline' (server-side deadline expired)")
+        self._m_shed = reg.counter(
+            "repro_net_shed_total",
+            "Submits answered 'shed' (oldest-first window overflow)")
+        self._m_overloaded = reg.counter(
+            "repro_net_overloaded_total",
+            "Submits answered 'overloaded' (service backpressure)")
+        self._m_faults = reg.counter(
+            "repro_net_faults_injected_total",
+            "Net-boundary faults fired", ("kind",))
+        self._m_latency = reg.histogram(
+            "repro_net_request_seconds",
+            "Server-side submit latency (admission to response)")
+        self._gate = ConnectionGate(self.admission.max_connections)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_evt: asyncio.Event | None = None
+        self._started_evt = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._port: int | None = None
+        self._conn_seq = 0
+        self._tasks: set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-net-drain")
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        return self._port if self._port is not None else self._requested_port
+
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._host
+
+    @property
+    def address(self) -> str:
+        """``host:port`` as accepted by :class:`~repro.net.PagingClient`."""
+        return f"{self._host}:{self.port}"
+
+    def start(self) -> "NetServer":
+        """Bind the listener and serve from a daemon thread."""
+        if self._thread is not None:
+            raise ServiceStateError("net server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net", daemon=True)
+        self._thread.start()
+        self._started_evt.wait(10.0)
+        if self._startup_error is not None:
+            self._thread.join(1.0)
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Close the listener first, then live connections (idempotent)."""
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and not loop.is_closed() and self._stop_evt is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._stop_evt.set)
+        self._thread.join(timeout)
+        self._thread = None
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._stop_evt = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self._host, self._requested_port)
+        except OSError as exc:
+            self._startup_error = exc
+            self._started_evt.set()
+            return
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._started_evt.set()
+        await self._stop_evt.wait()
+        # Listener closes before connections: a draining service must not
+        # see new sockets, only the tail of already-accepted work.
+        self._server.close()
+        await self._server.wait_closed()
+        for task in [t for t in self._tasks if not t.done()]:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- connection handling -----------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            import socket as _socket
+
+            with contextlib.suppress(OSError):
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        if not self._gate.try_acquire():
+            self._m_conn_rejected.inc()
+            await self._write_raw(writer, None, Error(
+                0, "too_many_connections",
+                f"server accepts at most {self.admission.max_connections} "
+                "connections"))
+            await self._close_writer(writer)
+            return
+        self._m_connections.inc()
+        self._m_active.set(self._gate.active)
+        conn = _Connection(self._conn_seq, writer,
+                           InflightWindow(self.admission.max_inflight))
+        self._conn_seq += 1
+        decoder = FrameDecoder(max_frame_bytes=self.admission.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                self._m_bytes.labels("in").inc(len(data))
+                close = False
+                for event in decoder.feed(data):
+                    if isinstance(event, FrameError):
+                        self._m_decode_errors.inc()
+                        await self._send(conn, Error(0, event.code, str(event)))
+                        continue
+                    self._m_requests.labels(event.type).inc()
+                    close = await self._dispatch(conn, event)
+                    if close:
+                        break
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            conn.open = False
+            for entry in conn.window.drain():
+                if not entry.responded:
+                    entry.responded = True
+                    self._m_inflight.dec()
+            self._gate.release()
+            self._m_active.set(self._gate.active)
+            await self._close_writer(writer)
+
+    async def _dispatch(self, conn: _Connection, msg) -> bool:
+        """Handle one message; returns True when the connection must close."""
+        if isinstance(msg, SubmitBatch):
+            return await self._dispatch_submit(conn, msg)
+        if isinstance(msg, Ping):
+            await self._send(conn, Pong(msg.id))
+            return False
+        if isinstance(msg, Snapshot):
+            snap = self.service.snapshot()
+            await self._send(conn, SnapshotReply(msg.id, snap.to_dict()))
+            return False
+        if isinstance(msg, Drain):
+            loop = asyncio.get_running_loop()
+            try:
+                ok = await loop.run_in_executor(
+                    self._executor, self.service.drain, msg.timeout)
+            except ServiceStateError as exc:
+                await self._send(conn, Error(msg.id, "unavailable", str(exc)))
+                return False
+            await self._send(conn, DrainReply(msg.id, bool(ok)))
+            return False
+        # A response-typed message from a client is a protocol violation.
+        await self._send(conn, Error(
+            msg.id, "bad_request", f"unexpected {msg.type} message"))
+        return False
+
+    async def _dispatch_submit(self, conn: _Connection, msg: SubmitBatch) -> bool:
+        loop = asyncio.get_running_loop()
+        t = conn.n_submits
+        conn.n_submits += 1
+        if self._plan is not None:
+            spec = self._plan.poll(conn.id, t)
+            if spec is not None:
+                self._m_faults.labels(spec.kind).inc()
+                if spec.kind == "delay":
+                    await asyncio.sleep(spec.delay_s)
+                elif spec.kind == "drop":
+                    return False  # request vanishes; the client times out
+                else:  # kill: abrupt close, mid-protocol
+                    return True
+        entry = _Request(msg.id, len(msg.pages), loop.time())
+        victim = conn.window.admit(msg.id, entry)
+        self._m_inflight.inc()
+        if victim is not None and not victim.responded:
+            victim.responded = True
+            self._m_shed.inc()
+            self._m_inflight.dec()
+            await self._send(conn, SubmitAck(
+                victim.id, "shed", victim.n_requests,
+                detail="per-connection in-flight window overflow"))
+        pages = np.asarray(msg.pages, dtype=np.int64)
+        levels = (np.asarray(msg.levels, dtype=np.int64)
+                  if msg.levels else None)
+        try:
+            result = self.service.submit_batch(pages, levels)
+        except (InvalidRequestError, InvalidInstanceError, ValueError) as exc:
+            self._finish(conn, entry)
+            await self._send(conn, Error(msg.id, "bad_request", str(exc)))
+            return False
+        except ServiceStateError as exc:
+            self._finish(conn, entry)
+            await self._send(conn, Error(msg.id, "unavailable", str(exc)))
+            return False
+        if isinstance(result, Overloaded):
+            self._m_overloaded.inc()
+            self._finish(conn, entry)
+            await self._send(conn, SubmitAck(
+                msg.id, "overloaded", entry.n_requests, shard=result.shard,
+                detail=f"shard queue at depth {result.queue_depth}"))
+            return False
+        if isinstance(result, Failed):
+            self._finish(conn, entry)
+            await self._send(conn, SubmitAck(
+                msg.id, "failed", entry.n_requests, shard=result.shard,
+                detail=repr(result.error)))
+            return False
+        # Accepted: bridge the ticket into the loop and answer when it
+        # resolves (or the deadline fires) without blocking the reader.
+        fut: asyncio.Future = loop.create_future()
+
+        def _on_done(_ticket, loop=loop, fut=fut):
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._resolve_future, fut)
+
+        result.add_done_callback(_on_done)
+        waiter = loop.create_task(self._await_ticket(conn, entry, result, fut))
+        self._tasks.add(waiter)
+        waiter.add_done_callback(self._tasks.discard)
+        return False
+
+    @staticmethod
+    def _resolve_future(fut: asyncio.Future) -> None:
+        if not fut.done():
+            fut.set_result(None)
+
+    async def _await_ticket(self, conn: _Connection, entry: _Request,
+                            ticket: BatchTicket, fut: asyncio.Future) -> None:
+        loop = asyncio.get_running_loop()
+        remaining = self.admission.request_deadline_s - (loop.time() - entry.started)
+        try:
+            await asyncio.wait_for(fut, max(remaining, 1e-3))
+        except (asyncio.TimeoutError, TimeoutError):
+            if not entry.responded and conn.open:
+                self._m_deadline.inc()
+                self._finish(conn, entry)
+                await self._send(conn, SubmitAck(
+                    entry.id, "deadline", entry.n_requests,
+                    detail=f"not resolved within "
+                           f"{self.admission.request_deadline_s:g}s"))
+            else:
+                conn.window.resolve(entry.id)
+            return
+        except asyncio.CancelledError:
+            conn.window.resolve(entry.id)
+            return
+        if entry.responded or not conn.open:
+            conn.window.resolve(entry.id)
+            return
+        status = "ok" if ticket.ok else "failed"
+        detail = "" if ticket.ok else repr(ticket.errors[0] if ticket.errors
+                                           else "shard slice failed")
+        self._m_latency.observe(loop.time() - entry.started)
+        self._finish(conn, entry)
+        await self._send(conn, SubmitAck(
+            entry.id, status, entry.n_requests, detail=detail))
+
+    def _finish(self, conn: _Connection, entry: _Request) -> None:
+        """Claim the response slot for ``entry`` and release its window seat."""
+        entry.responded = True
+        conn.window.resolve(entry.id)
+        self._m_inflight.dec()
+
+    # -- writes ------------------------------------------------------------
+    async def _send(self, conn: _Connection, msg) -> None:
+        await self._write_raw(conn.writer, conn.write_lock, msg)
+
+    async def _write_raw(self, writer: asyncio.StreamWriter,
+                         lock: asyncio.Lock | None, msg) -> None:
+        data = encode(msg, max_frame_bytes=2**31 - 1)
+        try:
+            if lock is not None:
+                async with lock:
+                    writer.write(data)
+                    await writer.drain()
+            else:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            return
+        self._m_bytes.labels("out").inc(len(data))
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            writer.close()
+            await writer.wait_closed()
+
+    def __repr__(self) -> str:
+        state = "serving" if self._thread is not None else "stopped"
+        return f"NetServer({self.address}, {state}, conns={self._gate.active})"

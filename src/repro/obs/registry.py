@@ -260,6 +260,25 @@ class MetricsRegistry:
         with self._lock:
             return [self._families[n] for n in sorted(self._families)]
 
+    def collect(self) -> dict[str, dict[tuple[str, ...], float | dict]]:
+        """Point-in-time values keyed by metric name then label values.
+
+        Counters and gauges map to their float value; histograms to a
+        ``{"sum": ..., "count": ...}`` dict.  This is the structured twin
+        of :meth:`render` for callers (tests, wire snapshots) that need
+        numbers, not text exposition.
+        """
+        out: dict[str, dict[tuple[str, ...], float | dict]] = {}
+        for fam in self.families():
+            children: dict[tuple[str, ...], float | dict] = {}
+            for key, child in sorted(fam.children().items()):
+                if fam.type == "histogram":
+                    children[key] = {"sum": child.sum, "count": child.count}
+                else:
+                    children[key] = child.value
+            out[fam.name] = children
+        return out
+
     def render(self) -> str:
         """Prometheus text exposition of every family and child."""
         lines: list[str] = []

@@ -116,7 +116,7 @@ class BatchTicket:
     """
 
     __slots__ = ("n_requests", "submitted_at", "completed_at", "_remaining",
-                 "_errors", "_lock", "_event")
+                 "_errors", "_lock", "_event", "_callbacks")
 
     def __init__(self, n_parts: int, n_requests: int) -> None:
         self.n_requests = n_requests
@@ -126,6 +126,7 @@ class BatchTicket:
         self._errors: tuple[BaseException, ...] = ()
         self._lock = threading.Lock()
         self._event = threading.Event()
+        self._callbacks: list = []
         if n_parts == 0:
             self.completed_at = self.submitted_at
             self._event.set()
@@ -135,14 +136,37 @@ class BatchTicket:
         """Always True — mirror of :attr:`Overloaded.accepted`."""
         return True
 
+    def _resolve(self) -> None:
+        """Complete the ticket: stamp, wake waiters, fire callbacks once."""
+        self.completed_at = perf_counter()
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(ticket)`` once every slice is resolved.
+
+        Fires immediately (on the calling thread) if the ticket is already
+        done; otherwise fires on whichever shard worker resolves the last
+        slice.  Callbacks must be cheap and must not raise — this is the
+        bridge the network frontend uses to complete responses from a
+        worker thread into its event loop without a blocking ``wait``.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
     def part_done(self) -> None:
         """Signal that one shard finished its slice of the batch."""
         with self._lock:
             self._remaining -= 1
             done = self._remaining == 0
         if done:
-            self.completed_at = perf_counter()
-            self._event.set()
+            self._resolve()
 
     def part_failed(self, error: BaseException | None = None) -> None:
         """Resolve one slice as *failed*; the ticket still completes.
@@ -160,8 +184,7 @@ class BatchTicket:
             self._remaining -= 1
             done = self._remaining == 0
         if done:
-            self.completed_at = perf_counter()
-            self._event.set()
+            self._resolve()
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until every slice is resolved; False on timeout."""

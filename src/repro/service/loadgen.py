@@ -42,7 +42,24 @@ from repro.core.requests import RequestSequence
 from repro.service.ingest import BatchTicket
 from repro.service.server import PagingService
 
-__all__ = ["LoadReport", "run_load"]
+__all__ = ["LoadReport", "run_load", "summarize_latencies"]
+
+
+def summarize_latencies(latencies_s) -> tuple[float, float, float]:
+    """p50/p95/p99 of end-to-end batch latencies, in milliseconds.
+
+    The single percentile path shared by the in-process and networked
+    load generators.  An empty sample yields NaN, not 0 — zero would read
+    as an impossibly fast service in downstream tables, while NaN says
+    "no completed batch ever reported a latency".
+    """
+    arr = np.asarray(latencies_s, dtype=np.float64)
+    if not arr.size:
+        return math.nan, math.nan, math.nan
+    p50, p95, p99 = (
+        float(v) * 1e3 for v in np.percentile(arr, [50.0, 95.0, 99.0])
+    )
+    return p50, p95, p99
 
 
 @dataclass(frozen=True)
@@ -153,19 +170,10 @@ def run_load(
     duration = perf_counter() - started
     n_failed = sum(1 for t in tickets if t.done and not t.ok)
     n_served = sum(t.n_requests for t in tickets if t.ok)
-    latencies = np.asarray(
-        [t.latency for t in tickets if t.ok and t.latency is not None],
-        dtype=np.float64,
-    )
     rejected_all = not tickets
-    if latencies.size:
-        p50, p95, p99 = (
-            float(v) * 1e3 for v in np.percentile(latencies, [50.0, 95.0, 99.0])
-        )
-    else:
-        # No completed batch -> no latency data.  NaN, not 0: zero would
-        # read as an impossibly fast service in downstream tables.
-        p50 = p95 = p99 = math.nan
+    p50, p95, p99 = summarize_latencies(
+        [t.latency for t in tickets if t.ok and t.latency is not None]
+    )
     return LoadReport(
         target_rate=float(rate),
         achieved_rate=n_served / duration if duration > 0 else 0.0,

@@ -200,6 +200,39 @@ class ShardSnapshot:
         """Fraction of this shard's requests served without cache changes."""
         return self.n_hits / self.n_requests if self.n_requests else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe view of the shard counters (wire / artifact payloads).
+
+        Level keys are stringified so the dict survives a JSON round-trip
+        unchanged; span stats flatten to plain numbers.
+        """
+        return {
+            "shard": self.shard,
+            "cache_size": self.cache_size,
+            "n_requests": self.n_requests,
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_evictions": self.n_evictions,
+            "eviction_cost": self.eviction_cost,
+            "hit_rate": self.hit_rate,
+            "cost_by_level": {str(k): v for k, v in self.cost_by_level.items()},
+            "evictions_by_level": {
+                str(k): v for k, v in self.evictions_by_level.items()
+            },
+            "n_batches": self.n_batches,
+            "queue_depth": self.queue_depth,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "n_checkpoints": self.n_checkpoints,
+            "n_restores": self.n_restores,
+            "n_replayed_batches": self.n_replayed_batches,
+            "spans": {
+                name: {"n": s.n, "total_s": s.total_s, "max_s": s.max_s}
+                for name, s in self.spans.items()
+            },
+        }
+
 
 @dataclass(frozen=True)
 class ServiceSnapshot:
@@ -251,6 +284,28 @@ class ServiceSnapshot:
     def merged_spans(self) -> dict[str, SpanStats]:
         """Service-level spans plus per-shard spans folded together."""
         return merge_span_stats(self.spans, *(s.spans for s in self.shards))
+
+    def to_dict(self) -> dict:
+        """JSON-safe view of the whole snapshot.
+
+        This is the payload of the network frontend's ``Snapshot`` reply —
+        everything :meth:`render` shows, machine-readable, round-trippable
+        through JSON without key-type surprises.
+        """
+        return {
+            "n_requests": self.n_requests,
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "hit_rate": self.hit_rate,
+            "eviction_cost": self.eviction_cost,
+            "cost_by_level": {str(k): v for k, v in self.cost_by_level().items()},
+            "n_overloaded": self.n_overloaded,
+            "n_submitted_batches": self.n_submitted_batches,
+            "n_worker_restarts": self.n_worker_restarts,
+            "n_failed_shards": self.n_failed_shards,
+            "n_faults_injected": self.n_faults_injected,
+            "shards": [s.to_dict() for s in self.shards],
+        }
 
     # -- rendering ---------------------------------------------------------
     def table(self, *, include_latency: bool = True,

@@ -241,6 +241,16 @@ class PagingService:
             tracer.close()
         self._raise_pending()
 
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` switched the service to threaded mode."""
+        return self._started
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` sealed the service."""
+        return self._stopped
+
     def __enter__(self) -> "PagingService":
         return self.start()
 

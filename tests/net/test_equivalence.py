@@ -1,0 +1,140 @@
+"""The tentpole contract: the network is a transport, not an observer.
+
+A workload streamed through the TCP frontend must leave the service in
+*exactly* the state inline submission leaves it — byte-identical
+per-shard decision traces (same seed, same sampling) and identical
+per-shard cost ledgers.  Any divergence means the wire path reordered,
+dropped, duplicated, or otherwise perturbed the request stream.
+"""
+
+import pytest
+
+from repro.algorithms import WaterFillingPolicy
+from repro.core.instance import WeightedPagingInstance
+from repro.net import AdmissionPolicy, NetServer, PagingClient
+from repro.obs import validate_trace
+from repro.service import PagingService, ServiceConfig
+from repro.workloads import sample_weights, zipf_stream
+
+N_PAGES = 64
+SEED = 7
+BATCH = 128
+
+
+def make_service(n_shards=3):
+    inst = WeightedPagingInstance(12, sample_weights(N_PAGES, rng=0, high=16.0))
+    config = ServiceConfig(instance=inst, policy_factory=WaterFillingPolicy,
+                           n_shards=n_shards, batch_size=BATCH, seed=SEED)
+    return PagingService(config)
+
+
+def make_workload(length=4000):
+    return zipf_stream(N_PAGES, length, alpha=0.9, rng=2)
+
+
+def ledger_state(svc):
+    return [
+        (e.ledger.eviction_cost, e.ledger.n_hits, e.ledger.n_misses,
+         e.ledger.n_evictions, dict(e.ledger.cost_by_level))
+        for e in svc.engines
+    ]
+
+
+def run_inline(seq, trace_dir, sample):
+    svc = make_service()
+    paths = svc.enable_tracing(trace_dir, sample=sample, seed=SEED)
+    svc.start()
+    for lo in range(0, len(seq), BATCH):
+        result = svc.submit_batch(seq.pages[lo:lo + BATCH],
+                                  seq.levels[lo:lo + BATCH])
+        while not result.accepted:
+            svc.drain(0.01)
+            result = svc.submit_batch(seq.pages[lo:lo + BATCH],
+                                      seq.levels[lo:lo + BATCH])
+    svc.drain()
+    state = ledger_state(svc)
+    svc.stop()
+    return [p.read_bytes() for p in paths], state
+
+
+def run_networked(seq, trace_dir, sample, *, window):
+    svc = make_service()
+    paths = svc.enable_tracing(trace_dir, sample=sample, seed=SEED)
+    svc.start()
+    srv = NetServer(svc, admission=AdmissionPolicy(max_inflight=max(window, 1),
+                                                   request_deadline_s=30.0))
+    srv.start()
+    try:
+        with PagingClient(srv.address, timeout=30.0) as client:
+            if window <= 1:
+                for lo in range(0, len(seq), BATCH):
+                    res = client.submit_batch(seq.pages[lo:lo + BATCH],
+                                              seq.levels[lo:lo + BATCH])
+                    assert res.ok, res
+            else:
+                pending = 0
+                for lo in range(0, len(seq), BATCH):
+                    while client.inflight >= window:
+                        _, res = client.collect_any()
+                        assert res.ok, res
+                        pending -= 1
+                    client.submit_nowait(seq.pages[lo:lo + BATCH],
+                                         seq.levels[lo:lo + BATCH])
+                    pending += 1
+                while client.inflight:
+                    _, res = client.collect_any()
+                    assert res.ok, res
+            assert client.drain(30.0)
+        state = ledger_state(svc)
+    finally:
+        srv.stop()
+        svc.stop()
+    return [p.read_bytes() for p in paths], state
+
+
+class TestNetworkedEquivalence:
+    @pytest.mark.parametrize("sample", [1.0, 0.35])
+    def test_round_trip_submission_is_byte_identical(self, tmp_path, sample):
+        seq = make_workload()
+        inline_blobs, inline_state = run_inline(seq, tmp_path / "inline",
+                                                sample)
+        net_blobs, net_state = run_networked(seq, tmp_path / "net", sample,
+                                             window=1)
+        assert net_state == inline_state
+        assert net_blobs == inline_blobs
+        for path in (tmp_path / "net").iterdir():
+            assert validate_trace(path).ok
+
+    def test_pipelined_submission_is_byte_identical(self, tmp_path):
+        # One connection, window 8: the server dispatches submits in
+        # arrival order, so pipelining must not perturb per-shard order.
+        seq = make_workload()
+        inline_blobs, inline_state = run_inline(seq, tmp_path / "inline", 1.0)
+        net_blobs, net_state = run_networked(seq, tmp_path / "net", 1.0,
+                                             window=8)
+        assert net_state == inline_state
+        assert net_blobs == inline_blobs
+
+    def test_snapshot_over_wire_matches_local(self):
+        seq = make_workload(length=1500)
+        svc = make_service()
+        svc.start()
+        srv = NetServer(svc).start()
+        try:
+            with PagingClient(srv.address) as client:
+                for lo in range(0, len(seq), BATCH):
+                    assert client.submit_batch(seq.pages[lo:lo + BATCH],
+                                               seq.levels[lo:lo + BATCH]).ok
+                assert client.drain(10.0)
+                wire = client.snapshot()
+            local = svc.snapshot().to_dict()
+        finally:
+            srv.stop()
+            svc.stop()
+        # Latency percentiles are timing-dependent; everything else must
+        # agree exactly (the wire snapshot IS the local snapshot).
+        for key in ("n_requests", "n_hits", "n_misses", "eviction_cost",
+                    "cost_by_level", "n_overloaded", "n_failed_shards"):
+            assert wire[key] == local[key], key
+        assert [s["n_requests"] for s in wire["shards"]] == \
+            [s["n_requests"] for s in local["shards"]]

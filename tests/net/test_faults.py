@@ -1,0 +1,115 @@
+"""Fault injection at the network boundary.
+
+A :class:`FaultPlan` handed to :class:`NetServer` reinterprets its
+coordinates: ``shard`` is the connection index (accept order) and the
+logical time is that connection's submit counter.  ``delay`` stalls the
+request before processing, ``drop`` swallows it (the client times out),
+``kill`` closes the connection mid-protocol.  Plans stay fire-once, so a
+faulted connection heals for subsequent traffic.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.algorithms import WaterFillingPolicy
+from repro.core.instance import WeightedPagingInstance
+from repro.faults import FaultPlan
+from repro.net import NetServer, PagingClient
+from repro.obs import MetricsRegistry
+from repro.service import PagingService, ServiceConfig
+from repro.workloads import sample_weights
+
+N_PAGES = 64
+
+
+def serve_with(plan, registry=None):
+    inst = WeightedPagingInstance(8, sample_weights(N_PAGES, rng=0, high=16.0))
+    svc = PagingService(ServiceConfig(
+        instance=inst, policy_factory=WaterFillingPolicy, n_shards=1,
+        batch_size=64, metrics_registry=registry))
+    svc.start()
+    srv = NetServer(svc, fault_plan=plan, registry=registry).start()
+    return svc, srv
+
+
+class TestNetFaults:
+    def test_delay_stalls_only_the_target_request(self):
+        svc, srv = serve_with(FaultPlan.parse("delay:0@1:0.3"))
+        try:
+            with PagingClient(srv.address, timeout=5.0) as client:
+                fast = client.submit_batch(range(10))
+                started = time.monotonic()
+                slow = client.submit_batch(range(10))
+                stalled = time.monotonic() - started
+                after = client.submit_batch(range(10))
+            assert fast.ok and slow.ok and after.ok
+            assert stalled >= 0.28
+            assert fast.latency_s < 0.25
+            assert after.latency_s < 0.25  # fire-once: the plan is spent
+        finally:
+            srv.stop()
+            svc.stop()
+
+    def test_drop_times_out_then_connection_heals(self):
+        registry = MetricsRegistry()
+        svc, srv = serve_with(FaultPlan.parse("drop:0@0"), registry)
+        try:
+            with PagingClient(srv.address, timeout=0.3) as client:
+                with pytest.raises(socket.timeout):
+                    client.submit_batch(range(5))
+                # Same socket, next request: served normally.
+                res = client.submit_batch(range(5))
+                assert res.ok
+        finally:
+            srv.stop()
+            svc.stop()
+        faults = registry.collect()["repro_net_faults_injected_total"]
+        assert faults[("drop",)] == 1
+
+    def test_kill_closes_the_connection(self):
+        svc, srv = serve_with(FaultPlan.parse("kill:0@0"))
+        try:
+            client = PagingClient(srv.address, timeout=2.0)
+            with pytest.raises((ConnectionResetError, ConnectionError,
+                                socket.timeout)):
+                client.submit_batch(range(5))
+            client.close()
+            # The *next* connection (index 1) is outside the plan.
+            with PagingClient(srv.address, timeout=2.0) as again:
+                assert again.submit_batch(range(5)).ok
+        finally:
+            srv.stop()
+            svc.stop()
+
+    def test_faults_target_connections_not_shards(self):
+        # Connection 1 (second accept) is the target; connection 0 must
+        # sail through untouched even though the service has one shard.
+        svc, srv = serve_with(FaultPlan.parse("delay:1@0:0.3"))
+        try:
+            with PagingClient(srv.address, timeout=5.0) as first:
+                first.ping()  # claims connection index 0
+                with PagingClient(srv.address, timeout=5.0) as second:
+                    started = time.monotonic()
+                    res_first = first.submit_batch(range(8))
+                    fast = time.monotonic() - started
+                    res_second = second.submit_batch(range(8))
+                assert res_first.ok and res_second.ok
+                assert fast < 0.25
+                assert res_second.latency_s >= 0.28
+        finally:
+            srv.stop()
+            svc.stop()
+
+    def test_delay_metric_counted(self):
+        registry = MetricsRegistry()
+        svc, srv = serve_with(FaultPlan.parse("delay:0@0:0.05"), registry)
+        try:
+            with PagingClient(srv.address, timeout=5.0) as client:
+                assert client.submit_batch(range(4)).ok
+        finally:
+            srv.stop()
+            svc.stop()
+        faults = registry.collect()["repro_net_faults_injected_total"]
+        assert faults[("delay",)] == 1

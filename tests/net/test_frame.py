@@ -1,0 +1,233 @@
+"""Frame codec: round-trips, resync after rejection, hostile-input safety.
+
+The hardening contract under test: :meth:`FrameDecoder.feed` *never*
+raises, no matter how truncated, corrupted, or adversarial the byte
+stream — malformed frames surface as :class:`FrameError` events and the
+decoder re-synchronizes at the next frame boundary.
+"""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError, FrameTooLargeError, ProtocolVersionError
+from repro.net.frame import (
+    HEADER_SIZE,
+    PROTOCOL_VERSION,
+    Drain,
+    DrainReply,
+    Error,
+    FrameDecoder,
+    Ping,
+    Pong,
+    Snapshot,
+    SnapshotReply,
+    SubmitAck,
+    SubmitBatch,
+    encode,
+    message_from_payload,
+    message_to_payload,
+)
+
+ALL_MESSAGES = [
+    SubmitBatch(1, (3, 1, 4, 1, 5), (0, 1, 0, 2, 1)),
+    SubmitBatch(2, (9,)),
+    SubmitAck(1, "ok", n_requests=5, shard=2),
+    SubmitAck(3, "overloaded", detail="queue full"),
+    SubmitAck(4, "shed"),
+    SubmitAck(5, "deadline", detail="30s elapsed"),
+    SubmitAck(6, "failed", shard=1, detail="InjectedFault()"),
+    Snapshot(7),
+    SnapshotReply(7, {"n_requests": 42, "shards": []}),
+    Drain(8, 2.5),
+    Drain(9, None),
+    DrainReply(8, True),
+    DrainReply(9, False),
+    Ping(10),
+    Pong(10),
+    Error(0, "too_many_connections", "at capacity"),
+    Error(11, "bad_request", "unexpected pong message"),
+]
+
+
+def _frame(payload: bytes, version: int = PROTOCOL_VERSION) -> bytes:
+    return struct.pack(">IB", len(payload), version) + payload
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=lambda m: m.type)
+    def test_encode_decode_identity(self, msg):
+        decoder = FrameDecoder()
+        events = decoder.feed(encode(msg))
+        assert events == [msg]
+        assert decoder.n_frames == 1
+        assert decoder.n_errors == 0
+        assert len(decoder) == 0
+
+    def test_many_frames_in_one_feed(self):
+        blob = b"".join(encode(m) for m in ALL_MESSAGES)
+        assert FrameDecoder().feed(blob) == ALL_MESSAGES
+
+    def test_byte_at_a_time_feed(self):
+        blob = b"".join(encode(m) for m in ALL_MESSAGES)
+        decoder = FrameDecoder()
+        events = []
+        for i in range(len(blob)):
+            events.extend(decoder.feed(blob[i:i + 1]))
+        assert events == ALL_MESSAGES
+
+    def test_payload_round_trips_through_json(self):
+        for msg in ALL_MESSAGES:
+            payload = json.loads(json.dumps(message_to_payload(msg)))
+            assert message_from_payload(payload) == msg
+
+    def test_submit_batch_coerces_to_int_tuples(self):
+        msg = SubmitBatch(1, [1.0, 2.0], [0.0])
+        assert msg.pages == (1, 2)
+        assert msg.levels == (0,)
+
+    def test_ack_properties(self):
+        assert SubmitAck(1, "ok").accepted
+        assert not SubmitAck(1, "ok").retryable
+        assert SubmitAck(1, "overloaded").retryable
+        for status in ("overloaded", "failed", "shed", "deadline"):
+            assert not SubmitAck(1, status).accepted
+
+
+class TestRejection:
+    def test_unknown_status_rejected(self):
+        with pytest.raises(FrameError, match="unknown submit status"):
+            SubmitAck(1, "maybe")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(FrameError, match="unknown message type"):
+            message_from_payload({"type": "warp", "id": 1})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(FrameError, match="must be an object"):
+            message_from_payload([1, 2, 3])
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(FrameError, match="missing field 'pages'"):
+            message_from_payload({"type": "submit", "id": 1})
+
+    def test_mistyped_field_rejected(self):
+        with pytest.raises(FrameError, match="'id' must be an integer"):
+            message_from_payload({"type": "ping", "id": "one"})
+
+    def test_bool_is_not_an_integer_id(self):
+        with pytest.raises(FrameError, match="'id' must be an integer"):
+            message_from_payload({"type": "ping", "id": True})
+
+    def test_encode_over_cap_raises(self):
+        big = SubmitBatch(1, tuple(range(10_000)))
+        with pytest.raises(FrameTooLargeError):
+            encode(big, max_frame_bytes=64)
+
+    def test_decoder_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            FrameDecoder(max_frame_bytes=0)
+
+
+class TestResync:
+    """A rejected frame must not poison the frames after it."""
+
+    def test_bad_version_then_good_frame(self):
+        bad = _frame(b'{"type":"ping","id":1}', version=99)
+        good = encode(Pong(2))
+        events = FrameDecoder().feed(bad + good)
+        assert isinstance(events[0], ProtocolVersionError)
+        assert events[1] == Pong(2)
+
+    def test_oversized_then_good_frame(self):
+        decoder = FrameDecoder(max_frame_bytes=32)
+        payload = b"x" * 64
+        events = decoder.feed(_frame(payload) + encode(Ping(1)))
+        assert isinstance(events[0], FrameTooLargeError)
+        assert events[1] == Ping(1)
+        assert decoder.n_errors == 1
+
+    def test_oversized_payload_skipped_across_feeds(self):
+        decoder = FrameDecoder(max_frame_bytes=32)
+        payload = b"y" * 100
+        blob = _frame(payload) + encode(Ping(7))
+        events = []
+        for i in range(0, len(blob), 9):
+            events.extend(decoder.feed(blob[i:i + 9]))
+        assert [type(e) for e in events] == [FrameTooLargeError, Ping]
+
+    def test_undecodable_json_is_an_event(self):
+        events = FrameDecoder().feed(_frame(b"\xff\xfe not json"))
+        assert len(events) == 1
+        assert isinstance(events[0], FrameError)
+
+    def test_semantically_bad_frame_is_an_event(self):
+        events = FrameDecoder().feed(_frame(b'{"type":"submit","id":1}'))
+        assert len(events) == 1
+        assert isinstance(events[0], FrameError)
+        assert "pages" in str(events[0])
+
+
+@st.composite
+def submit_batches(draw):
+    return SubmitBatch(
+        draw(st.integers(min_value=0, max_value=2**53)),
+        tuple(draw(st.lists(st.integers(min_value=0, max_value=2**31),
+                            max_size=50))),
+        tuple(draw(st.lists(st.integers(min_value=0, max_value=64),
+                            max_size=50))),
+    )
+
+
+@st.composite
+def acks(draw):
+    return SubmitAck(
+        draw(st.integers(min_value=0, max_value=2**53)),
+        draw(st.sampled_from(("ok", "overloaded", "failed", "shed",
+                              "deadline"))),
+        n_requests=draw(st.integers(min_value=0, max_value=2**31)),
+        shard=draw(st.integers(min_value=-1, max_value=1024)),
+        detail=draw(st.text(max_size=40)),
+    )
+
+
+class TestProperties:
+    @given(msgs=st.lists(st.one_of(submit_batches(), acks()), max_size=8),
+           chunk=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=120, deadline=None)
+    def test_stream_round_trip_identity(self, msgs, chunk):
+        """Any chunking of any message stream decodes to the same stream."""
+        blob = b"".join(encode(m) for m in msgs)
+        decoder = FrameDecoder()
+        events = []
+        for i in range(0, len(blob), chunk):
+            events.extend(decoder.feed(blob[i:i + chunk]))
+        assert events == msgs
+        assert len(decoder) == 0
+
+    @given(garbage=st.binary(max_size=300),
+           chunk=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=200, deadline=None)
+    def test_garbage_never_raises(self, garbage, chunk):
+        """Arbitrary bytes produce only events, never exceptions."""
+        decoder = FrameDecoder(max_frame_bytes=128)
+        for i in range(0, len(garbage), chunk):
+            for event in decoder.feed(garbage[i:i + chunk]):
+                assert (isinstance(event, FrameError)
+                        or type(event).__name__ in
+                        ("SubmitBatch", "SubmitAck", "Snapshot",
+                         "SnapshotReply", "Drain", "DrainReply", "Ping",
+                         "Pong", "Error"))
+
+    @given(msg=submit_batches(), cut=st.integers(min_value=0, max_value=200),
+           garbage=st.binary(min_size=HEADER_SIZE, max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_truncated_then_corrupted_never_raises(self, msg, cut, garbage):
+        """A frame cut mid-payload followed by junk stays exception-free."""
+        blob = encode(msg)
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        decoder.feed(blob[:min(cut, len(blob))])
+        decoder.feed(garbage)  # must not raise

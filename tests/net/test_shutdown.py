@@ -1,0 +1,104 @@
+"""Graceful shutdown of ``repro serve`` as a real OS process.
+
+The contract: SIGTERM (or SIGINT) makes the server close its listener
+first, drain the service within ``--stop-timeout``, print the final
+snapshot, and exit 0 — never a traceback, never a lost in-flight batch.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.net import PagingClient
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def spawn_serve(*extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0",
+         "--shards", "2", "--requests", "100", *extra],
+        env=env, cwd=REPO, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    address = None
+    lines = []
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = re.match(r"listening on (\S+)", line)
+        if match:
+            address = match.group(1)
+            break
+    if address is None:
+        proc.kill()
+        raise AssertionError("serve never printed its address:\n"
+                             + "".join(lines))
+    return proc, address, "".join(lines)
+
+
+@pytest.mark.parametrize("sig", [signal.SIGTERM, signal.SIGINT],
+                         ids=["sigterm", "sigint"])
+def test_signal_drains_and_exits_zero(sig):
+    proc, address, _ = spawn_serve()
+    try:
+        with PagingClient(address, timeout=10.0) as client:
+            assert client.submit_batch(range(64)).ok
+            assert client.drain(10.0)
+        proc.send_signal(sig)
+        out, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, out
+    assert "signal received" in out
+    # The final snapshot accounts for the batch served before the signal.
+    assert "service snapshot" in out
+    assert re.search(r"total\s+\S+\s+64", out), out
+    assert "Traceback" not in out
+
+
+def test_listener_closes_before_drain():
+    proc, address, _ = spawn_serve()
+    try:
+        with PagingClient(address, timeout=10.0) as client:
+            assert client.ping() < 5.0
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+        # After exit the port is fully released: a fresh connect fails.
+        with pytest.raises(OSError):
+            PagingClient(address, timeout=1.0).connect()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, out
+
+
+def test_net_faults_flag_reaches_the_wire():
+    proc, address, preamble = spawn_serve("--net-faults", "delay:0@0:0.2")
+    try:
+        with PagingClient(address, timeout=10.0) as client:
+            started = time.monotonic()
+            assert client.submit_batch(range(16)).ok
+            assert time.monotonic() - started >= 0.18
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, out
+    assert "net fault plan" in preamble

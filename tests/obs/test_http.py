@@ -1,0 +1,135 @@
+"""MetricsServer lifecycle under concurrency: parallel scrapes while
+counters move, clean shutdown mid-traffic, port release, idempotency.
+"""
+
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer
+
+
+def scrape(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestConcurrentScrapes:
+    def test_parallel_scrapes_see_consistent_exposition(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("scrape_test_total", "testing")
+        counter.inc(5)
+        results = []
+        errors = []
+
+        with MetricsServer(registry) as server:
+            url = server.url
+
+            def worker():
+                try:
+                    for _ in range(20):
+                        status, body = scrape(url)
+                        results.append((status, body))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30.0)
+
+        assert not errors
+        assert len(results) == 160
+        for status, body in results:
+            assert status == 200
+            assert "scrape_test_total 5" in body
+
+    def test_scrapes_observe_live_counter_movement(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("live_total", "testing")
+        seen = []
+        with MetricsServer(registry) as server:
+            for i in range(10):
+                counter.inc()
+                _, body = scrape(server.url)
+                for line in body.splitlines():
+                    if line.startswith("live_total "):
+                        seen.append(float(line.split()[-1]))
+        assert seen == [float(i + 1) for i in range(10)]
+
+    def test_healthz_and_unknown_paths(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            status, body = scrape(f"{base}/healthz")
+            assert status == 200 and body == "ok\n"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                scrape(f"{base}/nope")
+            assert err.value.code == 404
+
+
+class TestShutdown:
+    def test_stop_releases_the_port(self):
+        server = MetricsServer(MetricsRegistry()).start()
+        port = server.port
+        scrape(server.url)
+        server.stop()
+        # The exact port must be immediately rebindable — no lingering
+        # listener socket, no TIME_WAIT surprise from server_close.
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", port))
+
+    def test_stop_is_idempotent_and_restartable(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "t").inc()
+        server = MetricsServer(registry)
+        server.stop()  # never started: no-op
+        server.start()
+        first_port = server.port
+        server.stop()
+        server.stop()
+        server.start()
+        try:
+            status, body = scrape(server.url)
+            assert status == 200 and "x_total 1" in body
+        finally:
+            server.stop()
+        assert first_port != 0
+
+    def test_stop_under_concurrent_scrapes_never_leaks(self):
+        # Scrapers hammer the endpoint while the main thread stops the
+        # server: every request either completes or fails cleanly, and
+        # the port is free afterwards.
+        registry = MetricsRegistry()
+        registry.counter("y_total", "t").inc()
+        server = MetricsServer(registry).start()
+        port = server.port
+        stop_flag = threading.Event()
+        failures = []
+
+        def hammer():
+            while not stop_flag.is_set():
+                try:
+                    scrape(f"http://127.0.0.1:{port}/metrics", timeout=1.0)
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    return  # server went away mid-request: expected
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        server.stop()
+        stop_flag.set()
+        for t in threads:
+            t.join(10.0)
+        assert not failures
+        assert not any(t.is_alive() for t in threads)
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", port))
