@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.analysis import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+SUMMARY_PATH = Path(__file__).parent.parent / "BENCH_SUMMARY.json"
 
 
 def emit(table: Table, name: str, extra: dict | None = None) -> Table:
@@ -29,6 +30,11 @@ def emit(table: Table, name: str, extra: dict | None = None) -> Table:
     table's columns and formatted rows plus any keys from ``extra`` —
     machine-readable metrics a consumer shouldn't have to re-parse from
     the text rendering (throughput, percentiles, span totals, ...).
+
+    Also folds the bench's headline numbers into the consolidated
+    ``BENCH_SUMMARY.json`` at the repo root (see :func:`update_summary`),
+    so one file answers "what did the last bench run measure" across all
+    experiments.
     """
     text = table.render()
     print("\n" + text)
@@ -45,7 +51,45 @@ def emit(table: Table, name: str, extra: dict | None = None) -> Table:
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
     )
+    update_summary(name, payload)
     return table
+
+
+def _headline(payload: dict) -> dict:
+    """Per-bench headline: the title plus every scalar top-level metric.
+
+    Nested run dictionaries stay in the per-bench ``results/*.json``; the
+    consolidated summary keeps only what fits on one line per experiment.
+    """
+    headline: dict = {"title": payload.get("title", ""),
+                      "n_rows": len(payload.get("rows", []))}
+    for key, value in payload.items():
+        if key in ("name", "title", "columns", "rows"):
+            continue
+        if isinstance(value, (int, float, str, bool)):
+            headline[key] = value
+    return headline
+
+
+def update_summary(name: str, payload: dict) -> None:
+    """Merge one bench's headline into the repo-root ``BENCH_SUMMARY.json``.
+
+    The file maps bench name -> headline and is rewritten whole on every
+    merge (read-modify-write; benches run sequentially under pytest, so no
+    cross-process locking is needed).
+    """
+    summary: dict = {}
+    if SUMMARY_PATH.exists():
+        try:
+            summary = json.loads(SUMMARY_PATH.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            summary = {}
+    if not isinstance(summary, dict):
+        summary = {}
+    summary[name] = _headline(payload)
+    SUMMARY_PATH.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def once(benchmark, fn):

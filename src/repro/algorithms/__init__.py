@@ -10,7 +10,8 @@ Policy                    What it is
 ``lru`` / ``fifo`` /
 ``random`` / ``marking``
 / ``randomized-marking``  classical weight-oblivious baselines
-``landlord``              k-competitive weighted baseline
+``landlord``              k-competitive weighted baseline (O(log k) heap)
+``landlord-ref``          same algorithm, O(k)-scan reference oracle
 ``wb-lru``                dirty-oblivious LRU on a writeback cache
 ``wb-landlord``           dirty-aware Landlord heuristic
 ``rw[<inner>]``           any multi-level policy lifted to writeback caching
@@ -37,7 +38,7 @@ from repro.algorithms.fractional import (
     FractionalStep,
     FractionalTrajectory,
 )
-from repro.algorithms.landlord import LandlordPolicy
+from repro.algorithms.landlord import LandlordPolicy, LandlordRefPolicy
 from repro.algorithms.primal_dual import (
     PrimalDualState,
     PrimalDualWeightedPaging,
@@ -72,6 +73,7 @@ __all__ = [
     "MarkingPolicy",
     "RandomizedMarkingPolicy",
     "LandlordPolicy",
+    "LandlordRefPolicy",
     "LFUPolicy",
     "ClockPolicy",
     "GDSFPolicy",

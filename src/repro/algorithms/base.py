@@ -75,6 +75,17 @@ class Policy(ABC):
         """
         return {}
 
+    def __getstate__(self) -> dict:
+        """Instance dict minus the tracer (an open-file handle).
+
+        Checkpoints pickle the bound policy graph; the tracer is re-attached
+        by the restoring engine, so the pickled copy falls back to the
+        class-level ``tracer = None``.
+        """
+        state = self.__dict__.copy()
+        state.pop("tracer", None)
+        return state
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 

@@ -111,13 +111,35 @@ class FIFOPolicy(_EvictingPolicy):
 
 @register_policy
 class RandomEvictionPolicy(_EvictingPolicy):
-    """Uniform random eviction — the memoryless baseline."""
+    """Uniform random eviction — the memoryless baseline.
+
+    Victim draws are O(1): an index-addressable mirror of the cached
+    pages is kept in sync via the fetch/evict hooks, with swap-remove on
+    eviction, so no per-eviction ``list(cache.pages())`` materialization
+    (which made each eviction round O(k) in allocation alone).
+    """
 
     name = "random"
 
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._pages: list[int] = []  # index-addressable mirror of the cache
+        self._index: dict[int, int] = {}  # page -> its slot in _pages
+
+    def _on_fetch(self, t: int, page: int) -> None:
+        if page not in self._index:  # upgrades keep their slot
+            self._index[page] = len(self._pages)
+            self._pages.append(page)
+
+    def _on_evicted(self, page: int) -> None:
+        slot = self._index.pop(page)
+        last = self._pages.pop()
+        if last != page:
+            self._pages[slot] = last
+            self._index[last] = slot
+
     def _choose_victim(self, t: int, page: int) -> int:
-        pages = list(self.cache.pages())
-        return pages[int(self.rng.integers(0, len(pages)))]
+        return self._pages[int(self.rng.integers(0, len(self._pages)))]
 
 
 class _BaseMarking(_EvictingPolicy):

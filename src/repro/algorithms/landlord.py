@@ -7,24 +7,59 @@ zero-credit page; on a hit it restores the page's credit.  It is
 k-competitive for weighted paging and is the natural open-source comparator
 for the paper's algorithms (it is *not* writeback- or level-aware beyond
 using the weight of the currently cached copy).
+
+The uniform credit decrement is the same structure as water-filling's
+uniform raise, so both implementations here use the global-offset trick
+from :mod:`repro.algorithms.waterfilling`: instead of mutating every
+credit per eviction round (O(k) float subtractions whose accumulated
+drift used to require a ``credit <= 1e-12`` epsilon compare to find the
+victim), each page stores the *death key* ``credit_at_set + offset`` —
+the cumulative decrement at which its credit hits zero.  Victims are the
+exact minimum ``(death, seq)``; no epsilon, no drift, and the choice is
+bit-identical across platforms.
+
+Two interchangeable implementations:
+
+* :class:`LandlordRefPolicy` (``landlord-ref``) — the direct O(cache
+  size)-per-eviction scan, kept as the request-by-request equivalence
+  oracle;
+* :class:`LandlordPolicy` (``landlord``) — O(log k) per eviction via a
+  lazy-deletion heap keyed on ``(death, seq)``.
+
+Both use the identical deterministic tie-break (credit-set sequence
+number), so their behavior is *exactly* equal — a property the test
+suite checks request-by-request.
 """
 
 from __future__ import annotations
 
+import heapq
+
 from repro.algorithms.base import Policy, register_policy
 
-__all__ = ["LandlordPolicy"]
+__all__ = ["LandlordPolicy", "LandlordRefPolicy"]
 
 
 @register_policy
-class LandlordPolicy(Policy):
-    """Landlord with in-place level upgrades for multi-level instances."""
+class LandlordRefPolicy(Policy):
+    """Reference Landlord: O(cache size) victim scan, exact arithmetic."""
 
-    name = "landlord"
+    name = "landlord-ref"
 
     def bind(self, instance, cache, rng) -> None:
         super().bind(instance, cache, rng)
-        self._credit: dict[int, float] = {}
+        # Cumulative credit decrement applied (conceptually) to every
+        # cached page; a page whose credit was set to w when the offset
+        # was L dies when the offset reaches w + L.
+        self._offset = 0.0
+        self._death: dict[int, float] = {}
+        self._seq: dict[int, int] = {}
+        self._counter = 0
+
+    def _set_credit(self, page: int, level: int) -> None:
+        self._death[page] = self.instance.weight(page, level) + self._offset
+        self._seq[page] = self._counter
+        self._counter += 1
 
     def serve(self, t: int, page: int, level: int) -> None:
         cache = self.cache
@@ -32,19 +67,69 @@ class LandlordPolicy(Policy):
         if current is not None:
             if current <= level:
                 # Hit: restore credit to the cached copy's full weight.
-                self._credit[page] = self.instance.weight(page, current)
+                self._set_credit(page, current)
             else:
                 cache.replace(page, level, reason="upgrade")
-                self._credit[page] = self.instance.weight(page, level)
+                self._set_credit(page, level)
             return
         while cache.is_full:
-            delta = min(self._credit[q] for q in cache.pages())
-            victim = None
-            for q in cache.pages():
-                self._credit[q] -= delta
-                if victim is None and self._credit[q] <= 1e-12:
-                    victim = q
+            victim = min(
+                cache.pages(), key=lambda q: (self._death[q], self._seq[q])
+            )
+            self._offset = self._death[victim]
             cache.evict(victim, reason="capacity")
-            self._credit.pop(victim, None)
+            del self._death[victim]
+            del self._seq[victim]
         cache.fetch(page, level)
-        self._credit[page] = self.instance.weight(page, level)
+        self._set_credit(page, level)
+
+
+@register_policy
+class LandlordPolicy(Policy):
+    """Landlord with in-place level upgrades for multi-level instances.
+
+    Heap-accelerated; behaviorally identical to :class:`LandlordRefPolicy`.
+    """
+
+    name = "landlord"
+
+    def bind(self, instance, cache, rng) -> None:
+        super().bind(instance, cache, rng)
+        self._offset = 0.0
+        # Heap of (death key = credit + offset_at_set, seq, page); stale
+        # entries (superseded by a later credit restore) are skipped via
+        # the live-entry map.
+        self._heap: list[tuple[float, int, int]] = []
+        self._live: dict[int, int] = {}  # page -> live seq number
+        self._counter = 0
+
+    def _set_credit(self, page: int, level: int) -> None:
+        key = self.instance.weight(page, level) + self._offset
+        self._live[page] = self._counter
+        heapq.heappush(self._heap, (key, self._counter, page))
+        self._counter += 1
+
+    def _pop_victim(self) -> tuple[float, int]:
+        while True:
+            key, seq, page = heapq.heappop(self._heap)
+            if self._live.get(page) == seq:
+                del self._live[page]
+                return key, page
+
+    def serve(self, t: int, page: int, level: int) -> None:
+        cache = self.cache
+        current = cache.level_of(page)
+        if current is not None:
+            if current <= level:
+                # Hit: restore credit to the cached copy's full weight.
+                self._set_credit(page, current)
+            else:
+                cache.replace(page, level, reason="upgrade")
+                self._set_credit(page, level)
+            return
+        while cache.is_full:
+            key, victim = self._pop_victim()
+            self._offset = key  # the cumulative decrement that zeroed it
+            cache.evict(victim, reason="capacity")
+        cache.fetch(page, level)
+        self._set_credit(page, level)

@@ -238,6 +238,11 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         help="max page weight (log-uniform in [1, high])")
     parser.add_argument("--seed", dest="master_seed", type=int, default=0)
     parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--backend", choices=("inline", "thread", "process"),
+                        default="thread",
+                        help="shard execution backend: inline (submitting "
+                             "thread), thread (one worker thread per shard), "
+                             "or process (one worker process per shard)")
     parser.add_argument("--queue-depth", type=int, default=64,
                         help="max pending batches per shard before Overloaded")
     parser.add_argument("--validate", action="store_true",
@@ -491,6 +496,7 @@ def _make_service(args):
             fault_plan=fault_plan,
             checkpoint_interval=args.checkpoint_interval,
             max_restarts=args.max_restarts,
+            backend=args.backend,
         )
     except ServiceConfigError as exc:
         print(str(exc), file=sys.stderr)
@@ -585,9 +591,11 @@ def _cmd_serve(args) -> int:
                     service.drain(0.01)
                     result = service.submit_batch(seq.pages[lo:lo + b],
                                                   seq.levels[lo:lo + b])
-                if not result.accepted:
+                if not result.accepted and not getattr(result, "retryable", True):
                     # Terminal (Failed): the target shard is gone; keep
                     # serving the rest of the stream and count the loss.
+                    # (A retryable Overloaded abandoned because a stop
+                    # signal arrived is drained below, not a loss.)
                     n_failed_batches += 1
                 if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
                     print(service.snapshot().render())

@@ -311,6 +311,17 @@ class WritebackInstance:
         if not 0 <= page < self.n_pages:
             raise InvalidRequestError(f"page {page} out of range [0, {self.n_pages})")
 
+    def validate_sequence(self, pages: np.ndarray, writes: np.ndarray) -> None:
+        """Vectorized range check of a whole writeback request stream."""
+        if pages.shape != writes.shape:
+            raise InvalidRequestError(
+                f"pages/writes length mismatch: {pages.shape} vs {writes.shape}"
+            )
+        if pages.size == 0:
+            return
+        if int(pages.min()) < 0 or int(pages.max()) >= self.n_pages:
+            raise InvalidRequestError("request sequence references pages out of range")
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WritebackInstance):
             return NotImplemented

@@ -101,6 +101,26 @@ class CostLedger:
         """Record a request that required cache changes."""
         self.n_misses += 1
 
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Slot dict minus the live tracer handle (an open file).
+
+        Checkpoints round-trip ledgers through pickle; the tracer is a
+        per-process observability attachment that the restoring engine
+        re-attaches, never part of the replayable state.
+        """
+        state = {}
+        for cls in type(self).__mro__:
+            for slot in getattr(cls, "__slots__", ()):
+                if hasattr(self, slot):
+                    state[slot] = getattr(self, slot)
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
     # -- reporting ---------------------------------------------------------
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger's totals into this one (for phased runs)."""

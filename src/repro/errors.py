@@ -88,6 +88,17 @@ class ServiceStateError(ReproError, RuntimeError):
     """
 
 
+class WorkerDiedError(ReproError, RuntimeError):
+    """A shard worker process died mid-conversation.
+
+    Raised by the process backend's parent-side engine handle when the
+    pipe to its child breaks (the child was killed, crashed, or exited).
+    Travels the same worker-death path as any other engine error: with
+    recovery armed the supervisor respawns the process from the last
+    checkpoint; without it the shard fails.
+    """
+
+
 class InjectedFault(ReproError, RuntimeError):
     """A deliberate failure raised by the fault-injection layer.
 

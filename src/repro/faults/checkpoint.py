@@ -1,69 +1,79 @@
-"""Per-shard checkpoints: a consistent deep copy of the engine's state.
+"""Per-shard checkpoints: a pickled snapshot of the engine's state.
 
 A :class:`ShardCheckpoint` captures everything that determines a shard's
 future behavior — the bound policy (with its RNG cursor), the authoritative
-cache contents, and the cost ledger — as **one** ``copy.deepcopy`` of the
+cache contents, and the cost ledger — as **one** ``pickle.dumps`` of the
 policy object graph (``policy -> cache -> ledger``), so the copy is
-internally consistent by construction.
+internally consistent by construction and, crucially, *process-portable*:
+the same payload restores an in-process engine after a thread death or a
+fresh worker process after a SIGKILL.
 
-Two kinds of objects are deliberately *shared* with the live engine rather
-than copied, via a pre-seeded deepcopy memo:
+Two kinds of objects are deliberately excluded from the payload and
+re-attached by the restoring engine (see ``__getstate__`` on
+:class:`~repro.core.ledger.CostLedger`,
+:class:`~repro.service.metrics.ServiceLedger` and
+:class:`~repro.algorithms.base.Policy`):
 
-* **Immutable substrate** — the instance (read-only weight arrays).
 * **Live observability handles** — registry metric children and the
   decision tracer (an open file).  Exposition counters are therefore
   *at-least-once* under recovery (replayed work counts twice), exactly
   like Prometheus counters across a process restart; the determinism
   surface is the ledger and the trace stream, both of which roll back.
+* The **immutable substrate** (the instance's read-only weight arrays)
+  *is* pickled — it is small — but the restoring engine re-points the
+  cache and policy at its own instance so memory stays shared across
+  repeated restores.
 
 The trace stream rolls back through :meth:`~repro.obs.DecisionTracer.mark`
 / ``rewind``: a checkpoint remembers the tracer's file position, and
 restoring truncates the JSONL back to it, so a recovered run's trace is
 byte-identical to a fault-free run.
 
-Checkpoints survive repeated restores: ``restore`` deep-copies the stored
-state *again* (with the same sharing rules), so handing state to an engine
-never aliases the checkpoint's own copy.
+Checkpoints survive repeated restores for free: ``restore`` re-unpickles
+the stored bytes each time, so handing state to an engine never aliases
+the checkpoint's own payload.
 """
 
 from __future__ import annotations
-
-import copy
 
 __all__ = ["ShardCheckpoint"]
 
 
 class ShardCheckpoint:
-    """A restorable snapshot of one :class:`~repro.service.engine.ShardEngine`.
+    """A restorable snapshot of one shard engine (thread or process backed).
 
     ``seq`` is the replay-log sequence number of the last batch applied
     before capture: recovery restores the checkpoint and replays exactly
     the log entries with ``entry.seq > checkpoint.seq``.
+
+    The engine contract is two methods: ``capture_state() -> (payload,
+    trace_mark, t)`` returning the pickled state bytes, and
+    ``restore_from(payload, trace_mark)`` installing them (rewinding the
+    tracer when a mark is present).  The process backend forwards both
+    over the worker pipe, so the checkpoint itself never touches a pipe
+    or a file handle.
     """
 
-    __slots__ = ("seq", "t", "trace_mark", "_state")
+    __slots__ = ("seq", "t", "trace_mark", "_payload")
 
-    def __init__(self, seq: int, t: int, trace_mark, state: dict) -> None:
+    def __init__(self, seq: int, t: int, trace_mark, payload: bytes) -> None:
         self.seq = seq
         self.t = t
         self.trace_mark = trace_mark
-        self._state = state
+        self._payload = payload
 
     @classmethod
     def capture(cls, engine, *, seq: int = 0) -> "ShardCheckpoint":
-        """Deep-copy ``engine``'s replayable state (shares live handles)."""
-        memo = {id(obj): obj for obj in engine.shared_handles()}
-        state = copy.deepcopy(engine.checkpoint_state(), memo)
-        mark = engine.tracer.mark() if engine.tracer is not None else None
-        return cls(seq=seq, t=engine.n_requests, trace_mark=mark, state=state)
+        """Pickle ``engine``'s replayable state (and mark its trace)."""
+        payload, mark, t = engine.capture_state()
+        return cls(seq=seq, t=t, trace_mark=mark, payload=payload)
 
     def restore(self, engine) -> None:
-        """Load this checkpoint into ``engine`` (reusable: copies again)."""
-        memo = {id(obj): obj for obj in engine.shared_handles()}
-        state = copy.deepcopy(self._state, memo)
-        engine.restore_state(state)
-        if engine.tracer is not None and self.trace_mark is not None:
-            engine.tracer.rewind(self.trace_mark)
+        """Load this checkpoint into ``engine`` (reusable: unpickles again)."""
+        engine.restore_from(self._payload, self.trace_mark)
 
     def __repr__(self) -> str:
-        return f"ShardCheckpoint(seq={self.seq}, t={self.t})"
+        return (
+            f"ShardCheckpoint(seq={self.seq}, t={self.t}, "
+            f"bytes={len(self._payload)})"
+        )

@@ -91,6 +91,13 @@ class DecisionTracer:
     source:
         Free-form origin tag recorded in the ``meta`` line (e.g. which
         shard produced this trace).
+    resume:
+        Re-open an *existing* trace file (``r+``) without writing a new
+        ``meta`` line.  Used by respawned shard worker processes: the
+        previous worker already wrote the meta record, and the caller is
+        expected to :meth:`rewind` to a checkpoint mark immediately (which
+        also restores the event counters), so the resumed stream stays
+        byte-identical to an uninterrupted one.  Requires a path sink.
     """
 
     __slots__ = ("sample", "seed", "max_events", "source", "n_written",
@@ -98,7 +105,8 @@ class DecisionTracer:
                  "_write", "_owns_file", "_closed")
 
     def __init__(self, sink, *, sample: float = 1.0, seed: int = 0,
-                 max_events: int = 1_000_000, source: str = "") -> None:
+                 max_events: int = 1_000_000, source: str = "",
+                 resume: bool = False) -> None:
         if not (0.0 <= sample <= 1.0):
             raise ValueError(f"sample must be in [0, 1], got {sample}")
         if max_events < 0:
@@ -116,15 +124,21 @@ class DecisionTracer:
         # sampled(t)  <=>  mix64(seed', t) < sample * 2^64
         self._threshold = math.ceil(self.sample * 2.0 ** 64)
         if isinstance(sink, (str, Path)):
-            self._file = open(sink, "w", encoding="utf-8")
+            self._file = open(sink, "r+" if resume else "w", encoding="utf-8")
             self._owns_file = True
+            if resume:
+                self._file.seek(0, 2)  # append position until the rewind
+        elif resume:
+            raise ValueError("resume requires a path sink")
         else:
             self._file = sink
             self._owns_file = False
         self._write = self._file.write
         self._closed = False
-        self._emit({"ev": "meta", "v": TRACE_VERSION, "sample": self.sample,
-                    "seed": self.seed, "source": self.source}, count=False)
+        if not resume:
+            self._emit({"ev": "meta", "v": TRACE_VERSION,
+                        "sample": self.sample, "seed": self.seed,
+                        "source": self.source}, count=False)
 
     # -- sampling ------------------------------------------------------------
     @property

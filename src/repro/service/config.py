@@ -73,6 +73,23 @@ class ServiceConfig:
         Optional :class:`~repro.faults.FaultPlan` — the deterministic
         chaos schedule injected into the shard workers.  ``None`` (the
         default) injects nothing; production configs never set this.
+    backend:
+        Shard execution backend, one of ``"inline"``, ``"thread"`` (the
+        default) or ``"process"``:
+
+        * ``inline`` — :meth:`~repro.service.server.PagingService.start`
+          is a no-op; batches are served on the submitting thread.
+          Deterministic, zero queueing — the benchmark/test mode.
+        * ``thread`` — one worker thread per shard after ``start()``
+          (submissions before ``start()`` still serve inline).  Buys
+          queueing and backpressure, not CPU parallelism (the serve
+          loops are GIL-bound).
+        * ``process`` — one spawned worker *process* per shard, fed over
+          a pipe.  Requires ``start()`` before any traffic, a picklable
+          ``policy_factory`` (registered policy classes are), and — from
+          a script — the standard ``if __name__ == "__main__"`` guard
+          (the spawn context re-imports the main module).  The only
+          backend whose throughput scales with cores.
     """
 
     instance: MultiLevelInstance
@@ -92,8 +109,14 @@ class ServiceConfig:
     max_restarts: int = 3
     replay_log_cap: int = 1024
     fault_plan: object | None = field(default=None, compare=False, repr=False)
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("inline", "thread", "process"):
+            raise ServiceConfigError(
+                f"backend must be one of 'inline', 'thread', 'process'; "
+                f"got {self.backend!r}"
+            )
         if self.n_shards < 1:
             raise ServiceConfigError(f"n_shards must be >= 1, got {self.n_shards}")
         if self.batch_size < 1:

@@ -25,6 +25,7 @@ loop.
 
 from __future__ import annotations
 
+import pickle
 from time import perf_counter
 
 import numpy as np
@@ -181,52 +182,60 @@ class ShardEngine:
         """The engine's replayable state as one consistent object graph.
 
         The bound policy transitively owns the cache (``policy.cache``)
-        and ledger (``cache.ledger``) plus its RNG cursor, so deep-copying
-        this dict (see :class:`repro.faults.ShardCheckpoint`) captures
-        everything that determines future behavior in one pass.  The
-        latency window and registry counters are deliberately excluded:
-        they are wall-clock observability, not the determinism surface.
+        and ledger (``cache.ledger``) plus its RNG cursor, so pickling
+        this dict (see :meth:`capture_state`) captures everything that
+        determines future behavior in one pass.  The latency window and
+        registry counters are deliberately excluded: they are wall-clock
+        observability, not the determinism surface.
         """
         return {"policy": self.policy, "t": self._t,
                 "n_batches": self.n_batches}
 
+    def capture_state(self) -> tuple[bytes, tuple | None, int]:
+        """Pickle the replayable state; returns ``(payload, trace_mark, t)``.
+
+        The payload round-trips through :mod:`pickle` (the ledger and
+        policy drop their live handles via ``__getstate__``), so the same
+        bytes restore this engine in-process *or* a fresh worker process.
+        """
+        payload = pickle.dumps(self.checkpoint_state(),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        mark = self.tracer.mark() if self.tracer is not None else None
+        return payload, mark, self._t
+
+    def restore_from(self, payload: bytes, trace_mark) -> None:
+        """Install a :meth:`capture_state` payload and rewind the tracer."""
+        self.restore_state(pickle.loads(payload))
+        if self.tracer is not None and trace_mark is not None:
+            self.tracer.rewind(trace_mark)
+
     def restore_state(self, state: dict) -> None:
-        """Install a (deep-copied) :meth:`checkpoint_state` dict.
+        """Install an unpickled :meth:`checkpoint_state` dict.
 
         Single-consumer contract applies: only the worker thread that owns
-        this engine may restore it, and only between batches.
+        this engine may restore it, and only between batches.  The
+        unpickled graph carries a pristine ledger (no registry handles)
+        and its own copy of the instance; the engine re-points both at its
+        live substrate so restored shards keep publishing to the same
+        exposition children and share the read-only weight arrays.
         """
         policy = state["policy"]
+        old_ledger = self.ledger
         self.policy = policy
         self.cache = policy.cache
-        self.ledger = policy.cache.ledger
+        ledger = policy.cache.ledger
+        self.cache.instance = self.instance
+        policy.instance = self.instance
+        # Transplant the live exposition handles onto the restored ledger.
+        ledger._m_evictions = old_ledger._m_evictions
+        ledger._m_cost = old_ledger._m_cost
+        ledger._level_children = old_ledger._level_children
+        self.ledger = ledger
         self._t = int(state["t"])
         self.n_batches = int(state["n_batches"])
-        # Re-attach the live tracer: the copied graph already shares it by
-        # identity, but restore may race a detach, so be explicit.
-        self.ledger.tracer = self.tracer
+        # Re-attach the live tracer (dropped by the pickle hooks).
+        ledger.tracer = self.tracer
         policy.tracer = self.tracer
-
-    def shared_handles(self) -> list:
-        """Objects a checkpoint must *share* with the engine, never copy.
-
-        Immutable substrate (the instance) plus live observability handles
-        (registry families and their children, the open tracer).  Families
-        hold a ``threading.Lock`` and tracers an open file, so deep-copying
-        them would fail — and sharing is also the correct semantics: a
-        restored shard keeps publishing to the same exposition children.
-        """
-        ledger = self.ledger
-        handles: list = [self.instance, ledger._m_evictions, ledger._m_cost]
-        for family in (ledger._m_evictions, ledger._m_cost):
-            children = getattr(family, "children", None)
-            if children is not None:
-                handles.extend(children().values())
-        for pair in ledger._level_children.values():
-            handles.extend(pair)
-        if self.tracer is not None:
-            handles.append(self.tracer)
-        return handles
 
     def snapshot(self, *, queue_depth: int = 0) -> ShardSnapshot:
         """Point-in-time counters (queue depth is supplied by the server)."""

@@ -85,6 +85,22 @@ class ServiceLedger(CostLedger):
         children[0].inc()
         children[1].inc(cost)
 
+    def __getstate__(self) -> dict:
+        """Drop the registry handles: families hold locks, children are
+        process-local exposition state.  A restored ledger starts on the
+        no-op sink; the restoring engine transplants its live handles (see
+        :meth:`repro.service.engine.ShardEngine.restore_state`)."""
+        state = super().__getstate__()
+        for name in ("_m_evictions", "_m_cost", "_level_children"):
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._m_evictions = NULL_METRIC
+        self._m_cost = NULL_METRIC
+        self._level_children = {}
+
     def merge(self, other: CostLedger) -> None:
         """Fold another ledger into this one, keeping per-level totals.
 

@@ -1,15 +1,23 @@
 """The paging service: router + shard engines + bounded ingest queues.
 
-:class:`PagingService` runs in one of two modes:
+:class:`PagingService` serves through one of three backends
+(``config.backend``):
 
-* **inline** (default after construction) — :meth:`submit_batch` routes and
-  serves the batch on the caller's thread.  Deterministic, zero queueing,
-  ideal for benchmarks and tests.
-* **threaded** (after :meth:`start`, or inside a ``with`` block) — each
+* **inline** — :meth:`submit_batch` routes and serves the batch on the
+  caller's thread; :meth:`start` is a no-op.  Deterministic, zero
+  queueing, ideal for benchmarks and tests.  (The default ``thread``
+  backend also serves inline until :meth:`start` is called.)
+* **thread** (after :meth:`start`, or inside a ``with`` block) — each
   shard owns a bounded :class:`queue.Queue` drained by a dedicated worker
   thread.  Submissions that would overflow any target shard queue are
   rejected with :class:`~repro.service.ingest.Overloaded` — the service
   never buffers unboundedly.
+* **process** — the same bounded queues and worker threads, but each
+  worker thread is a thin proxy: the shard engine lives in its own
+  spawned OS process (:class:`~repro.service.procworker.ProcEngine`),
+  fed micro-batches over a pipe.  This is the only backend whose
+  aggregate throughput scales with cores; it requires :meth:`start`
+  before any traffic.
 
 Either way, per-shard request order equals arrival order, so the per-shard
 cost ledgers are bit-reproducible for a given (seed, trace) regardless of
@@ -52,6 +60,7 @@ from repro.service.config import ServiceConfig
 from repro.service.engine import ShardEngine
 from repro.service.ingest import BatchTicket, Failed, MicroBatcher, Overloaded
 from repro.service.metrics import ServiceSnapshot
+from repro.service.procworker import ProcEngine
 from repro.service.router import ShardRouter
 from repro.sim.seeding import spawn_seeds
 
@@ -114,14 +123,31 @@ class PagingService:
                          else null_registry())
         self.router = ShardRouter(config.n_shards)
         seeds = spawn_seeds(config.seed, config.n_shards)
-        self.engines = [
-            ShardEngine(
-                i, inst, config.policy_factory(), np.random.default_rng(seed),
-                validate=config.validate, latency_window=config.latency_window,
-                registry=self.registry,
-            )
-            for i, (inst, seed) in enumerate(zip(config.shard_instances(), seeds))
-        ]
+        if config.backend == "process":
+            self.engines = [
+                ProcEngine(
+                    i, inst, config.policy_factory, seed,
+                    validate=config.validate,
+                    latency_window=config.latency_window,
+                    registry=self.registry,
+                )
+                for i, (inst, seed) in enumerate(
+                    zip(config.shard_instances(), seeds)
+                )
+            ]
+        else:
+            self.engines = [
+                ShardEngine(
+                    i, inst, config.policy_factory(),
+                    np.random.default_rng(seed),
+                    validate=config.validate,
+                    latency_window=config.latency_window,
+                    registry=self.registry,
+                )
+                for i, (inst, seed) in enumerate(
+                    zip(config.shard_instances(), seeds)
+                )
+            ]
         self.profiler = PhaseProfiler()
         self._tracers: list[DecisionTracer] = []
         self._m_overloaded = self.registry.counter(
@@ -160,6 +186,7 @@ class PagingService:
         self._death_q: _queue.Queue = _queue.Queue()
         self._started = False
         self._stopped = False
+        self._trace_enabled = False
         self._n_overloaded = 0
         self._n_batches = 0
         self._errors: list[BaseException] = []
@@ -172,11 +199,21 @@ class PagingService:
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "PagingService":
-        """Switch to threaded mode: one bounded queue + worker per shard."""
+        """Arm the configured backend: one bounded queue + worker per shard.
+
+        With ``backend="inline"`` this is a no-op (the service keeps
+        serving on the submitting thread); with ``backend="process"`` the
+        shard worker processes are spawned before the proxy threads start.
+        """
         if self._stopped:
             raise ServiceStateError("service already stopped")
+        if self.config.backend == "inline":
+            return self
         if self._started:
             raise ServiceStateError("service already started")
+        if self.config.backend == "process":
+            for engine in self.engines:
+                engine.spawn()
         self._queues = [
             _queue.Queue(maxsize=self.config.queue_depth) for _ in self.engines
         ]
@@ -234,6 +271,9 @@ class PagingService:
                 threads = list(self._threads)
             for t in threads:
                 t.join(remaining())
+            if self.config.backend == "process":
+                for engine in self.engines:
+                    engine.shutdown(remaining())
         else:
             self._flush_pending(remaining())
         self._stopped = True
@@ -302,6 +342,11 @@ class PagingService:
                     if p.size
                 ]
             if not self._started:
+                if self.config.backend == "process":
+                    raise ServiceStateError(
+                        "the process backend serves no traffic before "
+                        "start(); call start() (or use a with block) first"
+                    )
                 ticket = BatchTicket(len(parts), int(pages.size))
                 for shard, p, lv in parts:
                     self.engines[shard].process_batch(p, lv)
@@ -401,11 +446,18 @@ class PagingService:
                 if spec.kind == "delay":
                     sleep(spec.delay_s)
                 else:
-                    # kill: die before serving (engine state intact).
+                    # kill: die before serving (engine state intact).  On
+                    # the process backend a kill is a *real* SIGKILL of
+                    # the worker process — no Python cleanup, the pipe
+                    # just breaks — before the proxy thread dies too.
                     # drop: the queue slot is lost with the worker; only
                     # the replay log can restore the slice.  Either way
                     # the part stays un-completed and un-applied, so
                     # recovery replays it from the log.
+                    if spec.kind == "kill":
+                        kill = getattr(engine, "kill_worker", None)
+                        if kill is not None:
+                            kill()
                     raise InjectedFault(f"injected fault: {spec}")
         engine.process_batch(part.pages, part.levels)
         state.applied_seq = part.seq
@@ -589,8 +641,9 @@ class PagingService:
         """
         if self._stopped:
             raise ServiceStateError("service already stopped")
-        if self._tracers:
+        if self._trace_enabled:
             raise ServiceStateError("tracing already enabled")
+        self._trace_enabled = True
         if any(e.n_requests for e in self.engines):
             raise ServiceStateError(
                 "enable_tracing must be called before any traffic"
@@ -598,14 +651,30 @@ class PagingService:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         paths: list[Path] = []
+        process = self.config.backend == "process"
+        if process and self._started:
+            raise ServiceStateError(
+                "the process backend applies tracing at spawn time; call "
+                "enable_tracing before start()"
+            )
         for engine in self.engines:
             path = directory / f"shard-{engine.shard_id}.jsonl"
-            tracer = DecisionTracer(
-                path, sample=sample, seed=seed, max_events=max_events,
-                source=f"shard-{engine.shard_id}",
-            )
-            engine.set_tracer(tracer)
-            self._tracers.append(tracer)
+            if process:
+                # The worker process owns the tracer (and its file): the
+                # config rides along on the spawn spec, so events stay
+                # keyed to the shard's logical clock and the trace is
+                # byte-identical to the inline/thread backends.
+                engine.set_trace_config(
+                    path, sample=sample, seed=seed, max_events=max_events,
+                    source=f"shard-{engine.shard_id}",
+                )
+            else:
+                tracer = DecisionTracer(
+                    path, sample=sample, seed=seed, max_events=max_events,
+                    source=f"shard-{engine.shard_id}",
+                )
+                engine.set_tracer(tracer)
+                self._tracers.append(tracer)
             paths.append(path)
         return paths
 

@@ -160,8 +160,7 @@ def simulate_writeback(
     The simulator — not the policy — marks a served write's page dirty,
     since dirtying is model semantics rather than a policy decision.
     """
-    if len(seq) and seq.max_page() >= instance.n_pages:
-        instance.check_page(seq.max_page())
+    instance.validate_sequence(seq.pages, seq.writes)
     ledger = CostLedger(record_events=record_events)
     cache = WritebackCache(instance, ledger)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)

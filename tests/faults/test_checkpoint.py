@@ -97,9 +97,10 @@ class TestSharedHandles:
     def test_registry_children_survive_restore(self):
         """Exposition metrics keep flowing to the same children after restore.
 
-        Metric families hold locks (deep-copying them would crash) and a
+        Metric families hold locks (pickling them would crash) and a
         restored shard must keep publishing to the exact counters a scrape
-        already saw — the shared-handle memo pins both down.
+        already saw — the pickle hooks drop the handles and the restoring
+        engine transplants its live ones.
         """
         registry = MetricsRegistry()
         engine = make_engine(registry=registry)

@@ -94,6 +94,32 @@ class TestSimulateWriteback:
         r = simulate_writeback(inst, seq, WBLRUPolicy())
         assert r.final_cache == {0: 1, 1: 2}
 
+    def test_out_of_range_page_rejected_upfront(self):
+        """Mirrors simulate(): the whole stream is range-checked before
+        any request is served, so nothing mutates on a bad sequence."""
+        inst = WritebackInstance.uniform(4, 2, 3.0)
+        seq = WBRequestSequence.from_pairs([(0, False), (7, True)])
+        with pytest.raises(InvalidRequestError, match="out of range"):
+            simulate_writeback(inst, seq, WBLRUPolicy())
+
+    def test_length_mismatch_rejected(self):
+        inst = WritebackInstance.uniform(4, 2, 3.0)
+        with pytest.raises(InvalidRequestError, match="mismatch"):
+            inst.validate_sequence(np.array([0, 1]), np.array([True]))
+
+    def test_negative_page_rejected(self):
+        inst = WritebackInstance.uniform(4, 2, 3.0)
+        with pytest.raises(InvalidRequestError, match="out of range"):
+            inst.validate_sequence(np.array([0, -1]), np.array([True, False]))
+
+    def test_empty_sequence_valid(self):
+        inst = WritebackInstance.uniform(4, 2, 3.0)
+        inst.validate_sequence(np.array([], dtype=np.int64),
+                               np.array([], dtype=bool))
+        r = simulate_writeback(inst, WBRequestSequence.from_pairs([]),
+                               WBLRUPolicy())
+        assert r.cost == 0.0
+
 
 class TestAggregateRuns:
     def _mk(self, cost, policy="p"):
