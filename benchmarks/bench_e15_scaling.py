@@ -111,6 +111,18 @@ def run_experiment() -> tuple[Table, dict]:
                      "batch_size": BATCH, "policy": POLICY},
         "usable_cores": cores,
         "speedup_at_max_shards": speedups[SHARD_COUNTS[-1]],
+        # Record whether the >= SPEEDUP_FLOOR claim was actually enforced
+        # on this machine, so an archived artifact is self-describing: a
+        # reader never has to guess whether "1.1x" passed a gate or
+        # merely ran ungated on a small box.
+        "speedup_gate": {
+            "floor": SPEEDUP_FLOOR,
+            "min_cores": 4,
+            "enforced": cores >= 4,
+        },
+        # Scalar mirror of the gate verdict: survives into the one-line
+        # headline BENCH_SUMMARY.json keeps per bench.
+        "speedup_gate_enforced": cores >= 4,
         "runs": runs,
     }
     return table, extra
@@ -130,9 +142,16 @@ def test_e15_backend_scaling(benchmark):
         for backend in ("inline", "thread", "process"):
             assert cell[backend]["throughput_req_s"] > 0
     # The parallelism claim needs actual cores to parallelize over.
-    if extra["usable_cores"] >= 4:
+    if extra["speedup_gate"]["enforced"]:
         speedup = runs["4"]["process_vs_thread"]
         assert speedup >= SPEEDUP_FLOOR, (
             f"process backend at 4 shards only {speedup:.2f}x thread "
             f"(floor {SPEEDUP_FLOOR}x on {extra['usable_cores']} cores)"
         )
+    else:
+        # Loud and machine-readable: recorded numbers from this run are
+        # informational only, the scaling claim was NOT checked here.
+        print(f"E15 SPEEDUP GATE SKIPPED (usable_cores="
+              f"{extra['usable_cores']} < 4): recorded throughputs are "
+              f"informational; the >= {SPEEDUP_FLOOR}x process-vs-thread "
+              f"claim is only enforced on >= 4-core machines")

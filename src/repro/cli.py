@@ -19,6 +19,10 @@ Commands
              running ``serve --listen`` process.
 ``trace``    replay or validate a JSONL decision trace produced by
              ``run --trace`` / ``serve --trace-dir`` (:mod:`repro.obs`).
+``cluster``  multi-node mode (:mod:`repro.cluster`): ``proxy`` fronts N
+             running ``serve --listen`` backends behind one
+             consistent-hash endpoint; ``status`` / ``migrate`` /
+             ``rebalance`` drive the live cluster map over the wire.
 
 Examples
 --------
@@ -41,14 +45,18 @@ Examples
     python -m repro serve --listen 127.0.0.1:7411 --shards 4
     python -m repro loadgen --connect 127.0.0.1:7411 --connections 4 \
         --window 8 --rate 50000
+    python -m repro cluster proxy --listen 127.0.0.1:7500 \
+        --backends 127.0.0.1:7411,127.0.0.1:7412
+    python -m repro cluster status --proxy 127.0.0.1:7500
+    python -m repro cluster migrate --proxy 127.0.0.1:7500 \
+        --shard 2 --to 127.0.0.1:7412
+    python -m repro cluster rebalance --proxy 127.0.0.1:7500
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 from repro.algorithms import policy_registry
 from repro.analysis import Table, competitive_ratio
@@ -218,6 +226,65 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(--connect only; 1 = strict round-trips)")
     loadgen.add_argument("--timeout", type=float, default=10.0, metavar="S",
                          help="client-side reply timeout (--connect only)")
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-node proxy + live shard migration"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cproxy = cluster_sub.add_parser(
+        "proxy", help="front running `serve --listen` backends behind one "
+                      "consistent-hash endpoint"
+    )
+    cproxy.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="front address (port 0 picks a free port)")
+    cproxy.add_argument("--backends", required=True, metavar="ADDR,ADDR,...",
+                        help="comma-separated backend host:port list; each "
+                             "must be a running `repro serve --listen` "
+                             "started with the cluster's total --shards")
+    cproxy.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="total cluster shard count (default: ask the "
+                             "first backend for its shard count)")
+    cproxy.add_argument("--window", type=int, default=16, metavar="N",
+                        help="pipelined submits per backend channel")
+    cproxy.add_argument("--retries", type=int, default=8, metavar="N",
+                        help="proxy-side retries of Overloaded backend parts")
+    cproxy.add_argument("--retry-backoff", type=float, default=0.002,
+                        metavar="S", help="base backoff seconds per retry")
+    cproxy.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                        help="backend reply timeout")
+    cproxy.add_argument("--hold-timeout", type=float, default=60.0,
+                        metavar="S",
+                        help="max seconds a submit waits on a held "
+                             "(migrating) shard before Overloaded")
+    cproxy.add_argument("--migration-timeout", type=float, default=60.0,
+                        metavar="S", help="per-migration deadline")
+    cproxy.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="expose proxy /metrics on this port "
+                             "(0 picks a free port)")
+    for name, extra in (
+        ("status", "print the live cluster map"),
+        ("migrate", "live-migrate one shard to a named backend"),
+        ("rebalance", "migrate shards until every backend is within one "
+                      "shard of even"),
+    ):
+        sub_parser = cluster_sub.add_parser(name, help=extra)
+        sub_parser.add_argument("--proxy", required=True, metavar="HOST:PORT",
+                                help="a running `repro cluster proxy` front "
+                                     "address")
+        sub_parser.add_argument("--timeout", type=float, default=60.0,
+                                metavar="S", help="reply timeout")
+        if name == "migrate":
+            sub_parser.add_argument("--shard", type=int, required=True)
+            sub_parser.add_argument("--to", required=True, metavar="ADDR",
+                                    help="target backend host:port (must be "
+                                         "in the cluster)")
+        if name == "rebalance":
+            sub_parser.add_argument("--backends", default=None,
+                                    metavar="ADDR,ADDR,...",
+                                    help="plan toward this backend set "
+                                         "(default: the backends already in "
+                                         "the map)")
     return parser
 
 
@@ -734,6 +801,138 @@ def _cmd_loadgen(args) -> int:
     return 0 if report.n_served else 1
 
 
+def _cmd_cluster_proxy(args) -> int:
+    """``cluster proxy``: front the backends until SIGINT/SIGTERM."""
+    from repro.cluster import ClusterMap, ClusterProxy
+    from repro.errors import ServiceConfigError
+    from repro.net import PagingClient, RemoteError, parse_address
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    try:
+        host, port = parse_address(args.listen)
+        for backend in backends:
+            parse_address(backend)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not backends:
+        print("--backends must name at least one host:port", file=sys.stderr)
+        return 2
+    n_shards = args.shards
+    try:
+        if n_shards is None:
+            with PagingClient(backends[0], timeout=args.timeout) as probe:
+                n_shards = len(probe.snapshot()["shards"])
+            print(f"shard count from {backends[0]}: {n_shards}")
+        cmap = ClusterMap.balanced(backends, n_shards)
+    except (OSError, RemoteError) as exc:
+        print(f"cannot reach backend {backends[0]}: {exc}", file=sys.stderr)
+        return 2
+    except ServiceConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    registry = None
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    proxy = ClusterProxy(
+        cmap, host=host, port=port,
+        window=args.window, retries=args.retries,
+        retry_backoff=args.retry_backoff, timeout=args.timeout,
+        hold_timeout=args.hold_timeout,
+        migration_timeout=args.migration_timeout,
+        registry=registry,
+    )
+    try:
+        with _SignalStop() as stop:
+            try:
+                proxy.start(check_backends=True)
+            except (OSError, RemoteError) as exc:
+                print(f"cluster proxy failed to start: {exc}", file=sys.stderr)
+                return 2
+            if registry is not None:
+                from repro.obs import MetricsServer
+
+                metrics_server = MetricsServer(
+                    registry, port=args.metrics_port).start()
+                print(f"metrics exposed at {metrics_server.url}")
+            print(f"listening on {proxy.host}:{proxy.port}", flush=True)
+            print(f"cluster map: {proxy.table.map!r}", flush=True)
+            stop.event.wait()
+        print("signal received: closing proxy")
+    finally:
+        proxy.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
+    status = proxy.status()
+    print(f"final map: {proxy.table.map!r} "
+          f"({status['n_migrations']} migration(s))")
+    return 0
+
+
+def _render_cluster_status(status: dict) -> str:
+    table = Table(["shard", "backend"],
+                  title=f"cluster map @ epoch {status['epoch']} "
+                        f"({status['n_migrations']} migration(s))")
+    for shard, address in enumerate(status["assignment"]):
+        table.add_row(shard, address)
+    spread = ", ".join(f"{b}:{n}" for b, n in status["counts"].items())
+    return f"{table.render()}\nspread: {spread}"
+
+
+def _cmd_cluster_control(args) -> int:
+    """``cluster status`` / ``migrate`` / ``rebalance`` against a proxy."""
+    from repro.cluster import ClusterMap
+    from repro.net import PagingClient, RemoteError, parse_address
+
+    try:
+        parse_address(args.proxy)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        with PagingClient(args.proxy, timeout=args.timeout) as client:
+            if args.cluster_command == "status":
+                print(_render_cluster_status(client.cluster_status()))
+                return 0
+            if args.cluster_command == "migrate":
+                reply = client.move_shard(args.shard, args.to,
+                                          timeout=args.timeout)
+                print(reply.detail)
+                if reply.ok:
+                    print(f"epoch now {reply.epoch}")
+                return 0 if reply.ok else 1
+            # rebalance: plan locally from the live map, apply move by move.
+            status = client.cluster_status()
+            cmap = ClusterMap.from_dict(status)
+            pool = None
+            if args.backends is not None:
+                pool = [b.strip() for b in args.backends.split(",")
+                        if b.strip()]
+            moves = cmap.rebalance_moves(pool)
+            if not moves:
+                print(f"already balanced: {cmap!r}")
+                return 0
+            for shard, source, target in moves:
+                reply = client.move_shard(shard, target, timeout=args.timeout)
+                print(reply.detail)
+                if not reply.ok:
+                    return 1
+            print(_render_cluster_status(client.cluster_status()))
+            return 0
+    except (OSError, RemoteError) as exc:
+        print(f"cluster {args.cluster_command} failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "proxy":
+        return _cmd_cluster_proxy(args)
+    return _cmd_cluster_control(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -751,6 +950,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "report":
         from repro.analysis.report import consolidate_results
 

@@ -1,0 +1,168 @@
+"""The cluster map: an epoch-numbered shard -> backend assignment.
+
+A :class:`ClusterMap` is the single piece of state the cluster proxy and
+its backends must agree on.  It is deliberately tiny and immutable —
+``n_shards`` fixed for the lifetime of the cluster, one backend address
+per shard, and a monotonically increasing ``epoch`` that bumps on every
+reassignment — so "agreement" reduces to comparing epochs.
+
+Two structural decisions keep migration trivially correct:
+
+* **Shards are the unit of placement, not pages.**  Pages hash to shards
+  with the same splitmix64 :class:`~repro.service.router.ShardRouter`
+  the backends use internally, so the proxy's page->shard assignment is
+  *identical* to every backend's — moving a shard never re-hashes pages.
+* **Every backend runs the full shard set.**  Backends are launched with
+  the cluster's total ``n_shards`` and the same seed, so each holds a
+  byte-identical (idle) engine for every shard it does not own.  The map
+  only decides where traffic goes; migration fills the target's idle
+  engine with the source's state and flips one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceConfigError
+
+__all__ = ["ClusterMap"]
+
+
+@dataclass(frozen=True)
+class ClusterMap:
+    """Immutable shard->backend assignment at one epoch."""
+
+    n_shards: int
+    #: ``assignment[shard]`` is the owning backend's ``host:port``.
+    assignment: tuple[str, ...]
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ServiceConfigError(
+                f"n_shards must be >= 1, got {self.n_shards}")
+        object.__setattr__(self, "assignment", tuple(self.assignment))
+        if len(self.assignment) != self.n_shards:
+            raise ServiceConfigError(
+                f"assignment covers {len(self.assignment)} shards, "
+                f"expected {self.n_shards}")
+        for shard, address in enumerate(self.assignment):
+            if not isinstance(address, str) or not address:
+                raise ServiceConfigError(
+                    f"shard {shard} has an empty backend address")
+        if self.epoch < 0:
+            raise ServiceConfigError(f"epoch must be >= 0, got {self.epoch}")
+
+    @classmethod
+    def balanced(cls, backends: list[str] | tuple[str, ...],
+                 n_shards: int) -> "ClusterMap":
+        """Round-robin ``n_shards`` across ``backends`` (epoch 0)."""
+        backends = [str(b) for b in backends]
+        if not backends:
+            raise ServiceConfigError("at least one backend is required")
+        if len(set(backends)) != len(backends):
+            raise ServiceConfigError(f"duplicate backend in {backends}")
+        return cls(
+            n_shards=n_shards,
+            assignment=tuple(backends[s % len(backends)]
+                             for s in range(n_shards)),
+        )
+
+    # -- lookups -----------------------------------------------------------
+    def owner_of(self, shard: int) -> str:
+        """The backend address owning ``shard``."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.n_shards}), got {shard}")
+        return self.assignment[shard]
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """Distinct backend addresses, in first-appearance order."""
+        return tuple(dict.fromkeys(self.assignment))
+
+    def shards_of(self, address: str) -> tuple[int, ...]:
+        """All shards currently owned by ``address``."""
+        return tuple(s for s, a in enumerate(self.assignment) if a == address)
+
+    def counts(self) -> dict[str, int]:
+        """Shards per backend (insertion-ordered like :attr:`backends`)."""
+        out: dict[str, int] = {}
+        for address in self.assignment:
+            out[address] = out.get(address, 0) + 1
+        return out
+
+    # -- evolution ---------------------------------------------------------
+    def with_owner(self, shard: int, address: str) -> "ClusterMap":
+        """A new map with ``shard`` reassigned and the epoch bumped.
+
+        ``address`` may be a backend not yet in the map (scale-out) and
+        the reassignment may leave a backend with zero shards (scale-in).
+        """
+        self.owner_of(shard)  # validates the index
+        if not address:
+            raise ServiceConfigError("backend address must be non-empty")
+        assignment = list(self.assignment)
+        assignment[shard] = str(address)
+        return ClusterMap(self.n_shards, tuple(assignment), self.epoch + 1)
+
+    def rebalance_moves(
+        self, backends: list[str] | tuple[str, ...] | None = None,
+    ) -> list[tuple[int, str, str]]:
+        """A minimal, deterministic move plan toward an even spread.
+
+        Returns ``(shard, source, target)`` triples; applying them in
+        order (each bumping the epoch) lands every backend within one
+        shard of ``n_shards / len(backends)``.  ``backends`` defaults to
+        the backends already in the map; pass a longer list to plan a
+        scale-out onto empty backends.
+        """
+        pool = [str(b) for b in (backends if backends is not None
+                                 else self.backends)]
+        if not pool:
+            raise ServiceConfigError("at least one backend is required")
+        if len(set(pool)) != len(pool):
+            raise ServiceConfigError(f"duplicate backend in {pool}")
+        base, extra = divmod(self.n_shards, len(pool))
+        targets = {b: base + (1 if i < extra else 0)
+                   for i, b in enumerate(pool)}
+        owned = {b: [s for s, a in enumerate(self.assignment) if a == b]
+                 for b in pool}
+        stray = [s for s, a in enumerate(self.assignment) if a not in targets]
+        surplus: list[int] = list(stray)
+        for b in pool:
+            if len(owned[b]) > targets[b]:
+                # Donate the highest-numbered shards, keeping plans stable
+                # under repeated invocation.
+                surplus.extend(owned[b][targets[b]:])
+        moves: list[tuple[int, str, str]] = []
+        for b in pool:
+            need = targets[b] - len(owned[b])
+            for _ in range(max(0, need)):
+                shard = surplus.pop(0)
+                moves.append((shard, self.assignment[shard], b))
+        return moves
+
+    # -- wire form ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form (rides in :class:`~repro.net.ClusterStatusReply`)."""
+        return {
+            "epoch": self.epoch,
+            "n_shards": self.n_shards,
+            "assignment": list(self.assignment),
+            "backends": list(self.backends),
+            "counts": self.counts(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterMap":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            n_shards=int(data["n_shards"]),
+            assignment=tuple(str(a) for a in data["assignment"]),
+            epoch=int(data.get("epoch", 0)),
+        )
+
+    def __repr__(self) -> str:
+        spread = ", ".join(f"{b}:{n}" for b, n in self.counts().items())
+        return f"ClusterMap(epoch={self.epoch}, shards={self.n_shards}, {spread})"

@@ -109,6 +109,17 @@ class InjectedFault(ReproError, RuntimeError):
     """
 
 
+class MigrationError(ReproError, RuntimeError):
+    """A live shard migration could not complete.
+
+    Raised by :func:`repro.cluster.migrate_shard` when the shard never
+    quiesced, a backend refused the capture/install, or the transfer
+    failed mid-flight.  Routing is only flipped *after* a successful
+    install, so a raised migration leaves the cluster serving from the
+    original owner with no tickets lost.
+    """
+
+
 class SweepWorkerError(ReproError, RuntimeError):
     """A sweep spec failed inside :func:`repro.sim.runner.run_sweep`.
 

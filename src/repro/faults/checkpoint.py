@@ -72,6 +72,28 @@ class ShardCheckpoint:
         """Load this checkpoint into ``engine`` (reusable: unpickles again)."""
         engine.restore_from(self._payload, self.trace_mark)
 
+    @property
+    def payload(self) -> bytes:
+        """The pickled state bytes (what the cluster wire protocol ships)."""
+        return self._payload
+
+    @classmethod
+    def from_wire(cls, t: int, payload: bytes) -> "ShardCheckpoint":
+        """Rebuild a checkpoint received from another host.
+
+        Sequence numbers and trace marks are host-local (replay-log
+        cursors and open-file positions), so a shipped checkpoint carries
+        neither: the receiving service re-sequences it against its own
+        log and lets its own trace continue forward.
+        """
+        return cls(seq=0, t=int(t), trace_mark=None, payload=payload)
+
+    def with_seq(self, seq: int) -> "ShardCheckpoint":
+        """This checkpoint re-anchored at a new replay-log sequence number."""
+        return ShardCheckpoint(seq=int(seq), t=self.t,
+                               trace_mark=self.trace_mark,
+                               payload=self._payload)
+
     def __repr__(self) -> str:
         return (
             f"ShardCheckpoint(seq={self.seq}, t={self.t}, "

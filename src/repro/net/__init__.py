@@ -28,10 +28,18 @@ from repro.net.client import NetSubmitResult, PagingClient, RemoteError, parse_a
 from repro.net.frame import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    ClusterStatus,
+    ClusterStatusReply,
     Drain,
     DrainReply,
     Error,
     FrameDecoder,
+    Install,
+    InstallReply,
+    Migrate,
+    MigrateReply,
+    MoveShard,
+    MoveShardReply,
     Ping,
     Pong,
     Snapshot,
@@ -70,4 +78,12 @@ __all__ = [
     "Ping",
     "Pong",
     "Error",
+    "Migrate",
+    "MigrateReply",
+    "Install",
+    "InstallReply",
+    "ClusterStatus",
+    "ClusterStatusReply",
+    "MoveShard",
+    "MoveShardReply",
 ]

@@ -16,23 +16,34 @@ responses across pipelined submits (acks arrive completion-order, not
 send-order).  A typed :class:`~repro.net.frame.Error` reply raises
 :class:`RemoteError` carrying the server's error code.  Socket-level
 failures (reset, timeout) raise ``OSError`` / ``socket.timeout`` — the
-client is deliberately transparent about transport loss and owns no
-reconnect policy beyond :meth:`close` + lazy re-dial.
+client is deliberately transparent about transport loss: it never hides
+a failure, but :meth:`reconnect` gives callers (the cluster proxy's
+backend channels, chiefly) a one-call way to drop the dead socket and
+its unmatched protocol state, then re-dial and resubmit.
 """
 
 from __future__ import annotations
 
+import base64
 import socket
 import time
 
 from repro.errors import ReproError
 from repro.net.frame import (
     DEFAULT_MAX_FRAME_BYTES,
+    ClusterStatus,
+    ClusterStatusReply,
     Drain,
     DrainReply,
     Error,
     FrameDecoder,
     FrameError,
+    Install,
+    InstallReply,
+    Migrate,
+    MigrateReply,
+    MoveShard,
+    MoveShardReply,
     Ping,
     Pong,
     Snapshot,
@@ -164,6 +175,19 @@ class PagingClient:
         self._pending.clear()
         self._inflight.clear()
 
+    def reconnect(self) -> "PagingClient":
+        """Drop the (possibly dead) connection and dial again.
+
+        Equivalent to :meth:`close` + :meth:`connect`: any half-decoded
+        frames, unmatched acks and in-flight ids are discarded — a new
+        socket is a new protocol stream, and replies to requests sent on
+        the old one will never arrive.  Callers that pipelined submits
+        must resubmit them; the cluster proxy does exactly that when a
+        backend restarts under it.
+        """
+        self.close()
+        return self.connect()
+
     def __enter__(self) -> "PagingClient":
         return self.connect()
 
@@ -248,6 +272,58 @@ class PagingClient:
             raise RemoteError("bad_request",
                               f"expected DrainReply, got {reply.type}")
         return reply.ok
+
+    # -- cluster control plane ---------------------------------------------
+    def migrate_shard(self, shard: int,
+                      timeout: float | None = None) -> tuple[int, bytes]:
+        """Capture ``shard`` on the server; returns ``(t, payload_bytes)``.
+
+        The server quiesces the shard first, so only call this once the
+        shard's traffic is held (the proxy's migration path does).
+        """
+        rid = self._alloc_id()
+        self._send(Migrate(rid, int(shard), timeout))
+        wait = (timeout + self.timeout) if timeout is not None else None
+        reply = self._wait_for(rid, timeout=wait)
+        if not isinstance(reply, MigrateReply):
+            raise RemoteError("bad_request",
+                              f"expected MigrateReply, got {reply.type}")
+        return reply.t, base64.b64decode(reply.payload.encode("ascii"))
+
+    def install_shard(self, shard: int, t: int, payload: bytes,
+                      timeout: float | None = None) -> bool:
+        """Install captured shard state on the server; True on success."""
+        rid = self._alloc_id()
+        self._send(Install(
+            rid, int(shard), int(t),
+            base64.b64encode(payload).decode("ascii"), timeout))
+        wait = (timeout + self.timeout) if timeout is not None else None
+        reply = self._wait_for(rid, timeout=wait)
+        if not isinstance(reply, InstallReply):
+            raise RemoteError("bad_request",
+                              f"expected InstallReply, got {reply.type}")
+        return reply.ok
+
+    def cluster_status(self) -> dict:
+        """Fetch a cluster proxy's routing map and counters."""
+        rid = self._alloc_id()
+        self._send(ClusterStatus(rid))
+        reply = self._wait_for(rid)
+        if not isinstance(reply, ClusterStatusReply):
+            raise RemoteError("bad_request",
+                              f"expected ClusterStatusReply, got {reply.type}")
+        return reply.cluster
+
+    def move_shard(self, shard: int, target: str,
+                   timeout: float | None = 60.0) -> MoveShardReply:
+        """Ask a cluster proxy to live-migrate ``shard`` to ``target``."""
+        rid = self._alloc_id()
+        self._send(MoveShard(rid, int(shard), str(target)))
+        reply = self._wait_for(rid, timeout=timeout)
+        if not isinstance(reply, MoveShardReply):
+            raise RemoteError("bad_request",
+                              f"expected MoveShardReply, got {reply.type}")
+        return reply
 
     # -- submission --------------------------------------------------------
     def submit_batch(self, pages, levels=None, *,

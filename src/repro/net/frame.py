@@ -29,6 +29,12 @@ service's :class:`~repro.service.ingest.Overloaded` /
 :class:`~repro.service.ingest.Failed` / shed / deadline outcomes onto the
 wire), :class:`SnapshotReply`, :class:`DrainReply`, :class:`Pong`, and
 :class:`Error` for protocol-level failures.
+
+Cluster extensions (PR 6): backends additionally answer
+:class:`Migrate` / :class:`Install` (shard checkpoint handoff, payload
+base64-encoded to ride in JSON), and a cluster proxy answers
+:class:`ClusterStatus` / :class:`MoveShard` on the same protocol —
+one frame codec serves single-node and cluster deployments alike.
 """
 
 from __future__ import annotations
@@ -55,6 +61,14 @@ __all__ = [
     "Ping",
     "Pong",
     "Error",
+    "Migrate",
+    "MigrateReply",
+    "Install",
+    "InstallReply",
+    "ClusterStatus",
+    "ClusterStatusReply",
+    "MoveShard",
+    "MoveShardReply",
     "MESSAGE_TYPES",
     "encode",
     "message_to_payload",
@@ -204,6 +218,110 @@ class Pong:
 
 @_register
 @dataclass(frozen=True)
+class Migrate:
+    """Quiesce ``shard`` and return its checkpoint (cluster handoff step 1).
+
+    Answered by a backend ``repro serve`` instance: the shard is captured
+    only once it is idle (no queued or in-flight batches touch it), so the
+    caller must have stopped routing the shard's traffic first — the
+    cluster proxy holds the shard before sending this.
+    """
+
+    type: ClassVar[str] = "migrate"
+    id: int
+    shard: int
+    timeout: float | None = None
+
+
+@_register
+@dataclass(frozen=True)
+class MigrateReply:
+    """The captured shard state: logical clock ``t`` + base64 payload."""
+
+    type: ClassVar[str] = "migrate_reply"
+    id: int
+    shard: int
+    t: int = 0
+    payload: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class Install:
+    """Install a shipped checkpoint into ``shard`` (cluster handoff step 2).
+
+    ``payload`` is the base64 pickled state from a :class:`MigrateReply`.
+    Trace marks never cross the wire — they are file positions on the
+    source host — so the new owner's trace continues from its own clock.
+    """
+
+    type: ClassVar[str] = "install"
+    id: int
+    shard: int
+    t: int = 0
+    payload: str = ""
+    timeout: float | None = None
+
+
+@_register
+@dataclass(frozen=True)
+class InstallReply:
+    """``ok`` is False when the install was rejected (see ``detail``)."""
+
+    type: ClassVar[str] = "install_reply"
+    id: int
+    shard: int
+    ok: bool = True
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ClusterStatus:
+    """Ask a cluster proxy for its routing state (answered with the map)."""
+
+    type: ClassVar[str] = "cluster_status"
+    id: int
+
+
+@_register
+@dataclass(frozen=True)
+class ClusterStatusReply:
+    """The proxy's :meth:`~repro.cluster.ClusterMap.to_dict` plus counters."""
+
+    type: ClassVar[str] = "cluster_status_reply"
+    id: int
+    cluster: dict = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class MoveShard:
+    """Ask a cluster proxy to live-migrate ``shard`` to backend ``target``."""
+
+    type: ClassVar[str] = "move_shard"
+    id: int
+    shard: int
+    target: str
+
+
+@_register
+@dataclass(frozen=True)
+class MoveShardReply:
+    """Outcome of one migration: the epoch the routing flip landed in."""
+
+    type: ClassVar[str] = "move_shard_reply"
+    id: int
+    shard: int
+    ok: bool = True
+    source: str = ""
+    target: str = ""
+    epoch: int = 0
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
 class Error:
     """Protocol-level failure for request ``id`` (0 = connection-level).
 
@@ -251,6 +369,12 @@ _FIELD_CHECKS = {
     "timeout": ("a number or null",
                 lambda v: v is None or (isinstance(v, (int, float))
                                         and not isinstance(v, bool))),
+    "t": ("an integer", _is_int),
+    "epoch": ("an integer", _is_int),
+    "payload": ("a string", lambda v: isinstance(v, str)),
+    "source": ("a string", lambda v: isinstance(v, str)),
+    "target": ("a string", lambda v: isinstance(v, str)),
+    "cluster": ("an object", lambda v: isinstance(v, dict)),
 }
 
 _MISSING = object()

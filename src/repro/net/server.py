@@ -33,6 +33,8 @@ connection index, logical time = submits seen on that connection);
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
 import contextlib
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -46,11 +48,16 @@ from repro.errors import (
     ServiceStateError,
 )
 from repro.net.admission import AdmissionPolicy, ConnectionGate, InflightWindow
+from repro.faults.checkpoint import ShardCheckpoint
 from repro.net.frame import (
     Drain,
     DrainReply,
     Error,
     FrameDecoder,
+    Install,
+    InstallReply,
+    Migrate,
+    MigrateReply,
     Ping,
     Pong,
     Snapshot,
@@ -320,6 +327,37 @@ class NetServer:
                 await self._send(conn, Error(msg.id, "unavailable", str(exc)))
                 return False
             await self._send(conn, DrainReply(msg.id, bool(ok)))
+            return False
+        if isinstance(msg, Migrate):
+            loop = asyncio.get_running_loop()
+            try:
+                ckpt = await loop.run_in_executor(
+                    self._executor, self.service.capture_shard,
+                    msg.shard, msg.timeout)
+            except (ValueError, ServiceStateError) as exc:
+                code = ("bad_request" if isinstance(exc, ValueError)
+                        else "unavailable")
+                await self._send(conn, Error(msg.id, code, str(exc)))
+                return False
+            await self._send(conn, MigrateReply(
+                msg.id, msg.shard, ckpt.t,
+                base64.b64encode(ckpt.payload).decode("ascii")))
+            return False
+        if isinstance(msg, Install):
+            loop = asyncio.get_running_loop()
+            try:
+                ckpt = ShardCheckpoint.from_wire(
+                    msg.t, base64.b64decode(msg.payload.encode("ascii")))
+                await loop.run_in_executor(
+                    self._executor, self.service.install_shard,
+                    msg.shard, ckpt, msg.timeout)
+            except (ValueError, binascii.Error) as exc:
+                await self._send(conn, Error(msg.id, "bad_request", str(exc)))
+                return False
+            except ServiceStateError as exc:
+                await self._send(conn, Error(msg.id, "unavailable", str(exc)))
+                return False
+            await self._send(conn, InstallReply(msg.id, msg.shard, True))
             return False
         # A response-typed message from a client is a protocol violation.
         await self._send(conn, Error(

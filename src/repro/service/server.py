@@ -90,10 +90,17 @@ class _ShardState:
 
     __slots__ = ("shard", "next_seq", "applied_seq", "log", "checkpoint",
                  "since_checkpoint", "restarts", "failed", "fail_error",
-                 "n_checkpoints", "n_restores", "n_replayed")
+                 "n_checkpoints", "n_restores", "n_replayed", "op_lock")
 
     def __init__(self, shard: int) -> None:
         self.shard = shard
+        #: Serializes engine access between the shard's worker thread and
+        #: an external capture/install (cluster migration).  The worker
+        #: holds it for the whole of ``_process_one`` — including the
+        #: periodic checkpoint, which talks to the worker *process* on the
+        #: process backend — so a migrator that holds it while the shard
+        #: is quiescent owns the engine (and its pipe) exclusively.
+        self.op_lock = threading.Lock()
         #: Sequence numbers are per-shard, assigned under the service lock
         #: at admission; queue order equals seq order equals arrival order.
         self.next_seq = 0
@@ -412,6 +419,78 @@ class PagingService:
             sleep(0.0005)
         return True
 
+    # -- shard handoff (cluster migration) ---------------------------------
+    def _quiesce_shard(self, shard: int, timeout: float | None) -> _ShardState:
+        """Wait until ``shard`` has applied everything it admitted.
+
+        The caller must guarantee no *new* submissions touching the shard
+        arrive while waiting (the cluster proxy holds the shard's traffic
+        first), so ``next_seq`` stops moving and ``applied_seq`` catches
+        up.  Other shards may keep serving throughout — this never waits
+        on global idleness, which would hang under continuous load.
+        """
+        if not 0 <= shard < len(self.engines):
+            raise ValueError(
+                f"shard must be in [0, {len(self.engines)}), got {shard}")
+        state = self._states[shard]
+        deadline = None if timeout is None else monotonic() + timeout
+        while True:
+            if state.failed:
+                raise ServiceStateError(
+                    f"shard {shard} is permanently failed: "
+                    f"{state.fail_error!r}")
+            if state.next_seq == state.applied_seq:
+                return state
+            if deadline is not None and monotonic() >= deadline:
+                raise ServiceStateError(
+                    f"shard {shard} did not quiesce within {timeout:g}s "
+                    f"(applied {state.applied_seq}/{state.next_seq})")
+            sleep(0.0005)
+
+    def capture_shard(self, shard: int,
+                      timeout: float | None = None) -> ShardCheckpoint:
+        """Quiesce one shard and checkpoint its engine for handoff.
+
+        Unlike the periodic recovery checkpoints this is callable from any
+        thread: the per-shard op lock hands the (possibly process-backed)
+        engine over exclusively once the worker is idle.  The rest of the
+        service keeps serving other shards while the capture runs.
+        """
+        self._raise_pending()
+        if self._stopped:
+            raise ServiceStateError("cannot capture a shard on a stopped service")
+        state = self._quiesce_shard(shard, timeout)
+        with state.op_lock:
+            if state.next_seq != state.applied_seq:  # pragma: no cover
+                raise ServiceStateError(
+                    f"shard {shard} received traffic during capture")
+            return ShardCheckpoint.capture(
+                self.engines[shard], seq=state.applied_seq)
+
+    def install_shard(self, shard: int, checkpoint: ShardCheckpoint,
+                      timeout: float | None = None) -> None:
+        """Install a checkpoint captured on another service into ``shard``.
+
+        The caller contract mirrors :meth:`capture_shard`: the shard must
+        see no traffic until this returns.  The foreign trace mark is
+        ignored (marks are file positions on the source host); with
+        recovery armed a fresh *local* checkpoint is taken immediately so
+        a later worker death restores the installed state, never the
+        pre-migration one.
+        """
+        self._raise_pending()
+        if self._stopped:
+            raise ServiceStateError("cannot install into a stopped service")
+        state = self._quiesce_shard(shard, timeout)
+        engine = self.engines[shard]
+        with state.op_lock:
+            if state.next_seq != state.applied_seq:  # pragma: no cover
+                raise ServiceStateError(
+                    f"shard {shard} received traffic during install")
+            engine.restore_from(checkpoint.payload, None)
+            if self._recovery:
+                self._take_checkpoint(state, engine)
+
     # -- worker loop -------------------------------------------------------
     def _worker(self, shard: int, *, recovered: bool = False) -> None:
         state = self._states[shard]
@@ -419,11 +498,13 @@ class PagingService:
         q = self._queues[shard]
         try:
             if recovered:
-                self._recover(state, engine)
+                with state.op_lock:
+                    self._recover(state, engine)
             elif self._recovery and state.checkpoint is None:
                 # Seed checkpoint at t=0 so even a first-interval death
                 # can be recovered.
-                self._take_checkpoint(state, engine)
+                with state.op_lock:
+                    self._take_checkpoint(state, engine)
             while True:
                 item = q.get()
                 if item is _STOP:
@@ -431,7 +512,8 @@ class PagingService:
                 if item.seq <= state.applied_seq:
                     # Already applied (and completed) during replay.
                     continue
-                self._process_one(state, engine, item)
+                with state.op_lock:
+                    self._process_one(state, engine, item)
         except BaseException as exc:  # worker death: recover or fail shard
             self._on_worker_death(state, exc)
 

@@ -1,0 +1,159 @@
+"""``repro cluster`` CLI: the operator surface, exercised for real.
+
+The full-stack test is the three-terminal quickstart from the README,
+compressed into one process tree: two ``repro serve --listen`` backends,
+one ``repro cluster proxy``, control-plane commands against it, traffic
+through it, a live migration, and a graceful SIGTERM — exit 0, no
+tracebacks, nothing lost.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.net import PagingClient
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def spawn(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=env, cwd=REPO, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+
+
+def wait_for_address(proc, what):
+    lines = []
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = re.match(r"listening on (\S+)", line)
+        if match:
+            proc.startup_lines = "".join(lines)
+            return match.group(1)
+    proc.kill()
+    raise AssertionError(f"{what} never printed its address:\n"
+                         + "".join(lines))
+
+
+def terminate(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            out, _ = proc.communicate()
+        return out
+    return proc.stdout.read()
+
+
+@pytest.fixture
+def two_backends():
+    serve_args = ("serve", "--listen", "127.0.0.1:0", "--shards", "4",
+                  "--n-pages", "64", "--k", "16", "--queue-depth", "256",
+                  "--requests", "100")
+    procs = [spawn(*serve_args), spawn(*serve_args)]
+    try:
+        addresses = [wait_for_address(p, f"backend {i}")
+                     for i, p in enumerate(procs)]
+        yield procs, addresses
+    finally:
+        for p in procs:
+            terminate(p)
+
+
+class TestClusterProxyProcess:
+    def test_quickstart_proxy_migrate_rebalance_shutdown(self, two_backends):
+        procs, (addr1, addr2) = two_backends
+        proxy_proc = spawn("cluster", "proxy", "--listen", "127.0.0.1:0",
+                           "--backends", f"{addr1},{addr2}")
+        try:
+            proxy = wait_for_address(proxy_proc, "proxy")
+
+            # Control plane: status shows the balanced epoch-0 map.
+            assert main(["cluster", "status", "--proxy", proxy]) == 0
+
+            # Data plane: traffic round-trips through the proxy.
+            with PagingClient(proxy, timeout=15.0) as client:
+                for _ in range(8):
+                    assert client.submit_batch(range(64)).ok
+                assert client.drain(15.0)
+                total_before = client.snapshot()["n_requests"]
+            assert total_before == 8 * 64
+
+            # Live migration via the CLI, then rebalance undoes the skew.
+            assert main(["cluster", "migrate", "--proxy", proxy,
+                         "--shard", "0", "--to", addr2]) == 0
+            assert main(["cluster", "rebalance", "--proxy", proxy]) == 0
+
+            # Traffic still flows on the rebalanced map, nothing lost.
+            with PagingClient(proxy, timeout=15.0) as client:
+                assert client.submit_batch(range(64)).ok
+                assert client.drain(15.0)
+                snap = client.snapshot()
+            assert snap["n_requests"] == total_before + 64
+            assert snap["cluster"]["epoch"] == 2
+        finally:
+            out = terminate(proxy_proc)
+        assert proxy_proc.returncode == 0, out
+        assert "signal received" in out
+        assert "2 migration(s)" in out
+        assert "Traceback" not in out
+
+    def test_proxy_infers_shard_count_from_backend(self, two_backends):
+        procs, (addr1, addr2) = two_backends
+        proxy_proc = spawn("cluster", "proxy", "--listen", "127.0.0.1:0",
+                           "--backends", f"{addr1},{addr2}")
+        try:
+            proxy = wait_for_address(proxy_proc, "proxy")
+            with PagingClient(proxy, timeout=15.0) as client:
+                status = client.cluster_status()
+            assert status["n_shards"] == 4
+        finally:
+            out = terminate(proxy_proc)
+        assert proxy_proc.returncode == 0, out
+        assert "shard count from" in proxy_proc.startup_lines
+
+
+class TestClusterArgErrors:
+    def test_bad_listen_address(self, capsys):
+        rc = main(["cluster", "proxy", "--listen", "nope",
+                   "--backends", "127.0.0.1:1"])
+        assert rc == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_empty_backends(self, capsys):
+        rc = main(["cluster", "proxy", "--backends", " , "])
+        assert rc == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_unreachable_backend(self, capsys):
+        rc = main(["cluster", "proxy", "--backends", "127.0.0.1:1",
+                   "--timeout", "0.5"])
+        assert rc == 2
+        assert "cannot reach backend" in capsys.readouterr().err
+
+    def test_status_bad_proxy_address(self, capsys):
+        rc = main(["cluster", "status", "--proxy", "nonsense"])
+        assert rc == 2
+
+    def test_status_unreachable_proxy(self, capsys):
+        rc = main(["cluster", "status", "--proxy", "127.0.0.1:1",
+                   "--timeout", "0.5"])
+        assert rc == 1
+        assert "failed" in capsys.readouterr().err

@@ -1,0 +1,167 @@
+"""ClusterMap unit contracts: validation, evolution, rebalance planning."""
+
+import pytest
+
+from repro.cluster import ClusterMap
+from repro.errors import ServiceConfigError
+
+A, B, C = "127.0.0.1:7411", "127.0.0.1:7412", "127.0.0.1:7413"
+
+
+class TestConstruction:
+    def test_balanced_round_robin(self):
+        cmap = ClusterMap.balanced([A, B], 5)
+        assert cmap.assignment == (A, B, A, B, A)
+        assert cmap.epoch == 0
+        assert cmap.counts() == {A: 3, B: 2}
+
+    def test_balanced_single_backend(self):
+        cmap = ClusterMap.balanced([A], 3)
+        assert cmap.assignment == (A, A, A)
+        assert cmap.backends == (A,)
+
+    def test_rejects_empty_backends(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap.balanced([], 4)
+
+    def test_rejects_duplicate_backends(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap.balanced([A, A], 4)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap(n_shards=0, assignment=())
+
+    def test_rejects_assignment_length_mismatch(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap(n_shards=3, assignment=(A, B))
+
+    def test_rejects_empty_address(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap(n_shards=2, assignment=(A, ""))
+
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap(n_shards=1, assignment=(A,), epoch=-1)
+
+
+class TestLookups:
+    def test_owner_of(self):
+        cmap = ClusterMap.balanced([A, B], 4)
+        assert cmap.owner_of(0) == A
+        assert cmap.owner_of(3) == B
+
+    def test_owner_of_rejects_out_of_range(self):
+        cmap = ClusterMap.balanced([A], 2)
+        with pytest.raises(ValueError):
+            cmap.owner_of(2)
+        with pytest.raises(ValueError):
+            cmap.owner_of(-1)
+
+    def test_shards_of(self):
+        cmap = ClusterMap.balanced([A, B], 5)
+        assert cmap.shards_of(A) == (0, 2, 4)
+        assert cmap.shards_of(B) == (1, 3)
+        assert cmap.shards_of(C) == ()
+
+    def test_backends_order_is_first_appearance(self):
+        cmap = ClusterMap(3, (B, A, B))
+        assert cmap.backends == (B, A)
+
+
+class TestEvolution:
+    def test_with_owner_bumps_epoch(self):
+        cmap = ClusterMap.balanced([A, B], 4)
+        moved = cmap.with_owner(0, B)
+        assert moved.epoch == 1
+        assert moved.owner_of(0) == B
+        # The original is untouched (immutability).
+        assert cmap.owner_of(0) == A and cmap.epoch == 0
+
+    def test_with_owner_allows_scale_out(self):
+        cmap = ClusterMap.balanced([A], 2)
+        grown = cmap.with_owner(1, C)
+        assert grown.backends == (A, C)
+
+    def test_with_owner_allows_scale_in(self):
+        cmap = ClusterMap(2, (A, B))
+        shrunk = cmap.with_owner(1, A)
+        assert shrunk.backends == (A,)
+
+    def test_with_owner_rejects_empty_address(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap.balanced([A], 1).with_owner(0, "")
+
+    def test_epochs_accumulate(self):
+        cmap = ClusterMap.balanced([A, B], 4)
+        cmap = cmap.with_owner(0, B).with_owner(1, A).with_owner(0, A)
+        assert cmap.epoch == 3
+
+
+class TestRebalance:
+    def test_balanced_map_needs_no_moves(self):
+        assert ClusterMap.balanced([A, B], 4).rebalance_moves() == []
+
+    def test_single_imbalance_single_move(self):
+        cmap = ClusterMap(4, (A, A, A, B))
+        moves = cmap.rebalance_moves()
+        assert len(moves) == 1
+        shard, source, target = moves[0]
+        assert (source, target) == (A, B)
+        # Applying the plan actually balances the map.
+        assert cmap.with_owner(shard, target).counts() == {A: 2, B: 2}
+
+    def test_plan_is_deterministic(self):
+        cmap = ClusterMap(6, (A, A, A, A, A, B))
+        assert cmap.rebalance_moves() == cmap.rebalance_moves()
+
+    def test_scale_out_plans_onto_new_backend(self):
+        cmap = ClusterMap.balanced([A, B], 6)
+        moves = cmap.rebalance_moves([A, B, C])
+        assert [m[2] for m in moves] == [C, C]
+        for shard, source, target in moves:
+            cmap = cmap.with_owner(shard, target)
+        assert cmap.counts() == {A: 2, B: 2, C: 2}
+
+    def test_stray_shards_come_home(self):
+        # Shard 1 lives on a backend outside the target pool: the plan
+        # must repatriate it even though counts look otherwise fine.
+        cmap = ClusterMap(2, (A, C))
+        moves = cmap.rebalance_moves([A, B])
+        for shard, source, target in moves:
+            cmap = cmap.with_owner(shard, target)
+        assert set(cmap.backends) <= {A, B}
+        assert cmap.counts() == {A: 1, B: 1}
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap.balanced([A], 1).rebalance_moves([])
+
+    def test_rejects_duplicate_pool(self):
+        with pytest.raises(ServiceConfigError):
+            ClusterMap.balanced([A], 1).rebalance_moves([B, B])
+
+
+class TestWireForm:
+    def test_roundtrip(self):
+        cmap = ClusterMap.balanced([A, B], 5).with_owner(2, B)
+        again = ClusterMap.from_dict(cmap.to_dict())
+        assert again == cmap
+        assert again.epoch == 1
+
+    def test_to_dict_shape(self):
+        data = ClusterMap.balanced([A, B], 4).to_dict()
+        assert data["epoch"] == 0
+        assert data["n_shards"] == 4
+        assert data["assignment"] == [A, B, A, B]
+        assert data["backends"] == [A, B]
+        assert data["counts"] == {A: 2, B: 2}
+
+    def test_from_dict_ignores_extra_keys(self):
+        data = ClusterMap.balanced([A], 2).to_dict()
+        data["n_migrations"] = 7  # ClusterStatus payload carries extras
+        assert ClusterMap.from_dict(data).n_shards == 2
+
+    def test_repr_shows_spread(self):
+        text = repr(ClusterMap.balanced([A, B], 4))
+        assert "epoch=0" in text and f"{A}:2" in text

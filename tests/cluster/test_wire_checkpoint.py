@@ -1,0 +1,201 @@
+"""Checkpoint wire portability: pickle here, restore in a fresh process.
+
+The migration path's core assumption is that a :class:`ShardCheckpoint`
+payload is *process-portable*: bytes captured in one interpreter, shipped
+through a real TCP socket, and restored in a freshly spawned interpreter
+must reproduce the exact shard.  This test executes the assumption
+literally: process A serves the first half of a traced stream and ships
+per-shard checkpoints — plus each trace file's bytes and its capture-time
+mark — over a socket; a spawned process B restores the state, rewinds the
+trace to the mark (the same mechanism intra-host worker recovery uses,
+here fed from wire bytes), serves the second half, and reports back.
+B's ledgers and complete trace files must equal a single uninterrupted
+reference run, byte for byte.
+"""
+
+import multiprocessing
+import pickle
+import socket
+import struct
+from pathlib import Path
+
+from repro.algorithms import WaterFillingPolicy
+from repro.core.instance import WeightedPagingInstance
+from repro.faults import ShardCheckpoint
+from repro.obs import DecisionTracer
+from repro.service import PagingService, ServiceConfig
+from repro.workloads import sample_weights, zipf_stream
+
+N_PAGES = 64
+N_SHARDS = 3
+SEED = 7
+BATCH = 128
+STREAM_LEN = 3968  # batch-aligned
+HALF = 1920        # batch-aligned split point
+
+
+def make_service():
+    inst = WeightedPagingInstance(12, sample_weights(N_PAGES, rng=0, high=16.0))
+    config = ServiceConfig(instance=inst, policy_factory=WaterFillingPolicy,
+                           n_shards=N_SHARDS, batch_size=BATCH, seed=SEED)
+    return PagingService(config)
+
+
+def make_workload():
+    return zipf_stream(N_PAGES, STREAM_LEN, alpha=0.9, rng=2)
+
+
+def serve_range(svc, seq, lo, hi):
+    for start in range(lo, hi, BATCH):
+        result = svc.submit_batch(seq.pages[start:start + BATCH],
+                                  seq.levels[start:start + BATCH])
+        while not result.accepted:
+            svc.drain(0.01)
+            result = svc.submit_batch(seq.pages[start:start + BATCH],
+                                      seq.levels[start:start + BATCH])
+    svc.drain()
+
+
+def ledger_state(svc):
+    return [
+        (e.ledger.eviction_cost, e.ledger.n_hits, e.ledger.n_misses,
+         e.ledger.n_evictions, dict(e.ledger.cost_by_level))
+        for e in svc.engines
+    ]
+
+
+def send_blob(sock, obj):
+    blob = pickle.dumps(obj)
+    sock.sendall(struct.pack(">Q", len(blob)) + blob)
+
+
+def recv_blob(sock):
+    header = b""
+    while len(header) < 8:
+        chunk = sock.recv(8 - len(header))
+        assert chunk, "peer closed mid-header"
+        header += chunk
+    (length,) = struct.unpack(">Q", header)
+    blob = b""
+    while len(blob) < length:
+        chunk = sock.recv(min(65536, length - len(blob)))
+        assert chunk, "peer closed mid-payload"
+        blob += chunk
+    return pickle.loads(blob)
+
+
+def restore_and_serve(port, trace_dir):
+    """Process B: receive checkpoints over TCP, restore, serve the rest.
+
+    Runs in a *spawned* interpreter — nothing is inherited from process A
+    except the bytes that arrive on the socket.  Sends back the full
+    trace bytes and the final ledgers on the same socket.
+    """
+    with socket.create_connection(("127.0.0.1", port), timeout=30.0) as sock:
+        # {shard: (t, payload, trace_mark, trace_bytes)}
+        shipped = recv_blob(sock)
+        seq = make_workload()
+        svc = make_service()
+        svc.start()
+        tracers = []
+        try:
+            for engine in svc.engines:
+                t, payload, mark, trace_bytes = shipped[engine.shard_id]
+                path = Path(trace_dir) / f"shard-{engine.shard_id}.jsonl"
+                path.write_bytes(trace_bytes)
+                tracer = DecisionTracer(path, sample=1.0, seed=SEED,
+                                        source=f"shard-{engine.shard_id}",
+                                        resume=True)
+                # Roll back to the capture point: truncates A's shutdown
+                # "end" record and restores the event counters, exactly
+                # like an intra-host worker respawn.
+                tracer.rewind(mark)
+                engine.set_tracer(tracer)
+                tracers.append(tracer)
+                svc.install_shard(engine.shard_id,
+                                  ShardCheckpoint.from_wire(t, payload))
+            serve_range(svc, seq, HALF, STREAM_LEN)
+            state = ledger_state(svc)
+        finally:
+            svc.stop()
+        for tracer in tracers:
+            tracer.close()
+        blobs = {
+            e.shard_id: (Path(trace_dir) / f"shard-{e.shard_id}.jsonl"
+                         ).read_bytes()
+            for e in svc.engines
+        }
+        send_blob(sock, {"state": state, "blobs": blobs})
+
+
+class TestWireCheckpointPortability:
+    def test_shipped_checkpoints_restore_byte_identical(self, tmp_path):
+        seq = make_workload()
+
+        # Reference: one uninterrupted traced run.
+        ref = make_service()
+        ref_paths = ref.enable_tracing(tmp_path / "ref", sample=1.0, seed=SEED)
+        ref.start()
+        serve_range(ref, seq, 0, STREAM_LEN)
+        ref_state = ledger_state(ref)
+        ref.stop()
+        ref_blobs = {i: p.read_bytes() for i, p in enumerate(ref_paths)}
+
+        # Process A: first half, then capture every shard.
+        svc_a = make_service()
+        a_paths = svc_a.enable_tracing(tmp_path / "a", sample=1.0, seed=SEED)
+        svc_a.start()
+        serve_range(svc_a, seq, 0, HALF)
+        captured = {s: svc_a.capture_shard(s, timeout=10.0)
+                    for s in range(N_SHARDS)}
+        svc_a.stop()  # closes A's tracers (writes their "end" records)
+        shipped = {
+            shard: (ckpt.t, ckpt.payload, ckpt.trace_mark,
+                    a_paths[shard].read_bytes())
+            for shard, ckpt in captured.items()
+        }
+
+        # Ship through a real socket into a fresh spawned interpreter.
+        b_dir = tmp_path / "b"
+        b_dir.mkdir()
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(60.0)
+        port = listener.getsockname()[1]
+        ctx = multiprocessing.get_context("spawn")
+        child = ctx.Process(target=restore_and_serve,
+                            args=(port, str(b_dir)), daemon=True)
+        child.start()
+        try:
+            conn, _ = listener.accept()
+            with conn:
+                conn.settimeout(120.0)
+                send_blob(conn, shipped)
+                reply = recv_blob(conn)
+            child.join(60.0)
+            assert child.exitcode == 0
+        finally:
+            listener.close()
+            if child.is_alive():  # pragma: no cover - hang cleanup
+                child.terminate()
+
+        # The restored process's ledgers are the reference ledgers...
+        assert reply["state"] == ref_state
+        # ...and its trace files are the reference traces, byte for byte
+        # (meta line, every event, and the final "end" counters).
+        for shard in range(N_SHARDS):
+            assert reply["blobs"][shard] == ref_blobs[shard], \
+                f"shard {shard} diverged"
+
+    def test_from_wire_strips_host_local_fields(self):
+        ckpt = ShardCheckpoint(seq=9, t=123, trace_mark=456, payload=b"x")
+        wired = ShardCheckpoint.from_wire(ckpt.t, ckpt.payload)
+        assert wired.seq == 0
+        assert wired.trace_mark is None
+        assert wired.t == 123
+        assert wired.payload == b"x"
+
+    def test_with_seq_reanchors(self):
+        ckpt = ShardCheckpoint.from_wire(5, b"abc")
+        again = ckpt.with_seq(17)
+        assert again.seq == 17
+        assert again.t == 5 and again.payload == b"abc"

@@ -17,10 +17,18 @@ from repro.errors import FrameError, FrameTooLargeError, ProtocolVersionError
 from repro.net.frame import (
     HEADER_SIZE,
     PROTOCOL_VERSION,
+    ClusterStatus,
+    ClusterStatusReply,
     Drain,
     DrainReply,
     Error,
     FrameDecoder,
+    Install,
+    InstallReply,
+    Migrate,
+    MigrateReply,
+    MoveShard,
+    MoveShardReply,
     Ping,
     Pong,
     Snapshot,
@@ -50,6 +58,19 @@ ALL_MESSAGES = [
     Pong(10),
     Error(0, "too_many_connections", "at capacity"),
     Error(11, "bad_request", "unexpected pong message"),
+    Migrate(12, 3),
+    Migrate(13, 0, timeout=5.0),
+    MigrateReply(12, 3, t=4096, payload="cGlja2xl"),
+    Install(14, 3, t=4096, payload="cGlja2xl", timeout=5.0),
+    InstallReply(14, 3, ok=True),
+    InstallReply(15, 1, ok=False, detail="shard failed"),
+    ClusterStatus(16),
+    ClusterStatusReply(16, cluster={"epoch": 2, "n_shards": 4,
+                                    "assignment": ["a:1", "b:2", "a:1", "b:2"]}),
+    MoveShard(17, 3, "127.0.0.1:7412"),
+    MoveShardReply(17, 3, ok=True, source="127.0.0.1:7411",
+                   target="127.0.0.1:7412", epoch=3, detail="moved"),
+    MoveShardReply(18, 0, ok=False, detail="unreachable"),
 ]
 
 
