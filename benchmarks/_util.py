@@ -71,12 +71,25 @@ def _headline(payload: dict) -> dict:
     return headline
 
 
+def _gate_keys(headline: dict) -> list[str]:
+    """The ``*_gate_enforced`` flags a bench self-describes its rigor with."""
+    return [k for k in headline if k.endswith("_gate_enforced")]
+
+
 def update_summary(name: str, payload: dict) -> None:
     """Merge one bench's headline into the repo-root ``BENCH_SUMMARY.json``.
 
     The file maps bench name -> headline and is rewritten whole on every
     merge (read-modify-write; benches run sequentially under pytest, so no
     cross-process locking is needed).
+
+    A run that *skipped* its own gates (any ``*_gate_enforced`` flag
+    false — e.g. a scaling bench on a 1-core box) must not overwrite a
+    prior entry whose gates were enforced: the enforced numbers are the
+    meaningful ones, and clobbering them with an unenforced rerun would
+    silently degrade the summary.  The unenforced run is still recorded
+    — under ``<name>.stale`` with a ``stale_reason`` — so the summary
+    shows both that the bench ran and why its headline was not replaced.
     """
     summary: dict = {}
     if SUMMARY_PATH.exists():
@@ -86,7 +99,23 @@ def update_summary(name: str, payload: dict) -> None:
             summary = {}
     if not isinstance(summary, dict):
         summary = {}
-    summary[name] = _headline(payload)
+    headline = _headline(payload)
+    gates = _gate_keys(headline)
+    skipped = [k for k in gates if headline.get(k) is False]
+    previous = summary.get(name)
+    if skipped and isinstance(previous, dict) and all(
+            previous.get(k) is not False for k in _gate_keys(previous)):
+        headline["stale_reason"] = (
+            f"gates skipped ({', '.join(sorted(skipped))}); kept the prior "
+            "enforced entry as the headline")
+        summary[f"{name}.stale"] = headline
+    else:
+        if skipped:
+            headline["stale_reason"] = (
+                f"gates skipped ({', '.join(sorted(skipped))}); no prior "
+                "enforced entry to preserve")
+        summary.pop(f"{name}.stale", None)
+        summary[name] = headline
     SUMMARY_PATH.write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -18,11 +18,18 @@ Commands
              ``--connect`` the load travels over the wire protocol to a
              running ``serve --listen`` process.
 ``trace``    replay or validate a JSONL decision trace produced by
-             ``run --trace`` / ``serve --trace-dir`` (:mod:`repro.obs`).
+             ``run --trace`` / ``serve --trace-dir`` (:mod:`repro.obs`),
+             or ``stitch`` request-span JSONL files (``--span-dir``)
+             into per-trace waterfalls.
 ``cluster``  multi-node mode (:mod:`repro.cluster`): ``proxy`` fronts N
              running ``serve --listen`` backends behind one
-             consistent-hash endpoint; ``status`` / ``migrate`` /
-             ``rebalance`` drive the live cluster map over the wire.
+             consistent-hash endpoint (optionally federating their
+             ``/metrics`` pages on ``--federate-port``); ``status`` /
+             ``migrate`` / ``rebalance`` drive the live cluster map over
+             the wire.
+``top``      live cluster status polled from a (federated) ``/metrics``
+             endpoint: per-backend request rates, tail latency, queue
+             depth, map epoch and in-flight migrations.
 
 Examples
 --------
@@ -47,6 +54,15 @@ Examples
         --window 8 --rate 50000
     python -m repro cluster proxy --listen 127.0.0.1:7500 \
         --backends 127.0.0.1:7411,127.0.0.1:7412
+    python -m repro cluster proxy --listen 127.0.0.1:7500 \
+        --backends 127.0.0.1:7411,127.0.0.1:7412 --federate-port 9200 \
+        --backend-metrics 127.0.0.1:7411=http://127.0.0.1:9101/metrics,\
+127.0.0.1:7412=http://127.0.0.1:9102/metrics
+    python -m repro top --url http://127.0.0.1:9200/metrics --once
+    python -m repro serve --listen 127.0.0.1:7411 --span-dir spans/
+    python -m repro loadgen --connect 127.0.0.1:7500 --span-dir spans/ \
+        --trace-sample 0.01
+    python -m repro trace stitch spans/*.spans.jsonl --limit 3
     python -m repro cluster status --proxy 127.0.0.1:7500
     python -m repro cluster migrate --proxy 127.0.0.1:7500 \
         --shard 2 --to 127.0.0.1:7412
@@ -172,6 +188,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="check a trace file against the trace schema"
     )
     validate.add_argument("path", help="JSONL trace file")
+    stitch = trace_sub.add_parser(
+        "stitch", help="stitch request-span JSONL files into per-trace "
+                       "waterfalls"
+    )
+    stitch.add_argument("paths", nargs="+",
+                        help="span JSONL files (svc/shard/net/proxy/client)")
+    stitch.add_argument("--trace", default=None, metavar="HEX",
+                        help="render only this trace id")
+    stitch.add_argument("--limit", type=int, default=10,
+                        help="max waterfalls to render")
+    stitch.add_argument("--min-spans", type=int, default=1,
+                        help="skip traces with fewer stitched spans")
 
     serve = sub.add_parser(
         "serve", help="run a workload through the sharded paging service"
@@ -262,6 +290,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="PORT",
                         help="expose proxy /metrics on this port "
                              "(0 picks a free port)")
+    cproxy.add_argument("--federate-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve the cluster-wide federated /metrics "
+                             "(every backend page re-labeled by backend id "
+                             "plus the proxy's own counters) on this port "
+                             "(0 picks a free port)")
+    cproxy.add_argument("--backend-metrics", default=None,
+                        metavar="ID=URL,ID=URL,...",
+                        help="backend metrics pages to federate, as "
+                             "comma-separated id=url pairs (e.g. "
+                             "127.0.0.1:7411=http://127.0.0.1:9101/metrics); "
+                             "ids become the federated 'backend' label")
+    cproxy.add_argument("--span-dir", default=None, metavar="DIR",
+                        help="write proxy-tier request spans "
+                             "(proxy.spans.jsonl) here")
+    cproxy.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="arm the flight recorder to dump span rings "
+                             "here on migration failure / SIGUSR1")
     for name, extra in (
         ("status", "print the live cluster map"),
         ("migrate", "live-migrate one shard to a named backend"),
@@ -285,6 +331,20 @@ def _build_parser() -> argparse.ArgumentParser:
                                     help="plan toward this backend set "
                                          "(default: the backends already in "
                                          "the map)")
+
+    top = sub.add_parser(
+        "top", help="live cluster status from a (federated) /metrics page"
+    )
+    top.add_argument("--url", required=True, metavar="URL",
+                     help="a /metrics page — the proxy's --federate-port "
+                          "endpoint for the cluster view, or any single "
+                          "backend's --metrics-port page")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N refreshes (0 = until SIGINT)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot (no rate deltas) and exit")
     return parser
 
 
@@ -320,7 +380,16 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="write per-shard JSONL decision traces here")
     parser.add_argument("--trace-sample", type=float, default=1.0,
-                        help="fraction of requests to trace per shard")
+                        help="fraction of requests to trace (decision "
+                             "traces and request spans alike)")
+    parser.add_argument("--span-dir", default=None, metavar="DIR",
+                        help="write causal request spans here (svc + "
+                             "per-shard JSONL; with --listen also the "
+                             "net tier, with --connect the client tier), "
+                             "sampled at --trace-sample")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="arm the flight recorder to dump its span "
+                             "rings here on shard death / SIGUSR1")
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="inject faults: comma-separated "
                              "kind:shard@t[:delay_s] with kind in "
@@ -419,10 +488,12 @@ def _run_traced(args, names, inst, seq) -> int:
 
 
 def _cmd_trace(args) -> int:
-    """``trace replay`` / ``trace validate`` over a JSONL decision trace."""
+    """``trace replay`` / ``validate`` / ``stitch`` over JSONL traces."""
     from repro.obs import replay_trace, validate_trace
 
     try:
+        if args.trace_command == "stitch":
+            return _cmd_trace_stitch(args)
         if args.trace_command == "validate":
             report = validate_trace(args.path)
             print(report.render())
@@ -432,6 +503,35 @@ def _cmd_trace(args) -> int:
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+
+def _cmd_trace_stitch(args) -> int:
+    """``trace stitch``: span files -> per-trace causal waterfalls."""
+    from repro.obs import read_spans, render_waterfall, stitch_spans
+
+    traces = stitch_spans(read_spans(*args.paths))
+    if args.trace is not None:
+        records = traces.get(args.trace)
+        if records is None:
+            print(f"trace {args.trace} not found in "
+                  f"{len(args.paths)} file(s)", file=sys.stderr)
+            return 1
+        print(render_waterfall(args.trace, records))
+        return 0
+    shown = 0
+    for trace_id, records in traces.items():
+        if len(records) < args.min_spans:
+            continue
+        if shown >= args.limit:
+            break
+        if shown:
+            print()
+        print(render_waterfall(trace_id, records))
+        shown += 1
+    n_spans = sum(len(r) for r in traces.values())
+    print(f"\n{len(traces)} trace(s), {n_spans} span(s) from "
+          f"{len(args.paths)} file(s); rendered {shown}")
+    return 0
 
 
 def _cmd_policies() -> int:
@@ -579,6 +679,17 @@ def _make_service(args):
                                        seed=args.master_seed)
         print(f"tracing {len(paths)} shard(s) into {args.trace_dir} "
               f"(sample={args.trace_sample:g})")
+    if args.span_dir is not None:
+        paths = service.enable_request_tracing(args.span_dir,
+                                               sample=args.trace_sample,
+                                               seed=args.master_seed)
+        print(f"request spans: {len(paths)} file(s) into {args.span_dir} "
+              f"(sample={args.trace_sample:g})")
+    if args.flight_dir is not None:
+        from repro.obs import set_flight_dump_dir
+
+        set_flight_dump_dir(args.flight_dir)
+        print(f"flight recorder armed: dumps into {args.flight_dir}")
     return service, seq
 
 
@@ -591,6 +702,26 @@ def _start_metrics_server(args, service):
     server = MetricsServer(service.registry, port=args.metrics_port).start()
     print(f"metrics exposed at {server.url}")
     return server
+
+
+def _install_flight_dump_signal() -> None:
+    """SIGUSR1 -> dump the flight recorder's span rings to disk.
+
+    A no-op where the platform lacks SIGUSR1 or we are off the main
+    thread; the dump itself is a no-op until ``--flight-dir`` armed a
+    dump directory, so installing unconditionally is safe.
+    """
+    import signal
+
+    if not hasattr(signal, "SIGUSR1"):  # pragma: no cover - non-POSIX
+        return
+    from repro.obs import flight_recorder
+
+    try:
+        signal.signal(signal.SIGUSR1,
+                      lambda signum, frame: flight_recorder().dump("sigusr1"))
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
 
 
 class _SignalStop:
@@ -713,12 +844,22 @@ def _cmd_serve_net(args) -> int:
         print(f"net fault plan: {net_faults} "
               "(shard = connection index, t = submit index)")
     metrics_server = _start_metrics_server(args, service)
+    net_spans = None
+    if args.span_dir is not None:
+        from pathlib import Path
+
+        from repro.obs import SpanExporter
+
+        net_spans = SpanExporter(Path(args.span_dir) / "net.spans.jsonl",
+                                 wall=True)
     net = None
     try:
         with _SignalStop() as stop:
+            _install_flight_dump_signal()
             service.start()
             net = NetServer(service, host=host, port=port,
-                            admission=admission, fault_plan=net_faults)
+                            admission=admission, fault_plan=net_faults,
+                            span_exporter=net_spans)
             try:
                 net.start()
             except OSError as exc:
@@ -736,6 +877,8 @@ def _cmd_serve_net(args) -> int:
         if net is not None:
             net.stop()
         service.stop(args.stop_timeout)
+        if net_spans is not None:
+            net_spans.close()
         if metrics_server is not None:
             metrics_server.stop()
     print(service.snapshot().render())
@@ -755,6 +898,9 @@ def _cmd_loadgen_net(args) -> int:
     print(f"load: {len(seq)} requests at {args.rate:,.0f} req/s over "
           f"{args.connections} connection(s) to {args.connect} "
           f"(window {args.window}, on_overload={args.on_overload})\n")
+    if args.span_dir is not None:
+        print(f"request spans: client.spans.jsonl into {args.span_dir} "
+              f"(sample={args.trace_sample:g})")
     try:
         report = run_network_load(
             args.connect, seq,
@@ -766,6 +912,9 @@ def _cmd_loadgen_net(args) -> int:
             max_retries=args.max_retries,
             retry_backoff=args.retry_backoff,
             on_overload=args.on_overload,
+            trace_sample=args.trace_sample if args.span_dir else 0.0,
+            trace_seed=args.master_seed,
+            span_dir=args.span_dir,
         )
     except (OSError, RemoteError) as exc:
         print(f"network load failed: {exc}", file=sys.stderr)
@@ -818,6 +967,22 @@ def _cmd_cluster_proxy(args) -> int:
     if not backends:
         print("--backends must name at least one host:port", file=sys.stderr)
         return 2
+    # Validate flags before any network dial, so a typo fails fast.
+    federation_targets: dict[str, str] = {}
+    if args.backend_metrics is not None:
+        for pair in args.backend_metrics.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            backend_id, sep, url = pair.partition("=")
+            if not sep or not backend_id or not url:
+                print(f"--backend-metrics entries must be id=url, "
+                      f"got {pair!r}", file=sys.stderr)
+                return 2
+            federation_targets[backend_id] = url
+    if args.federate_port is None and federation_targets:
+        print("--backend-metrics requires --federate-port", file=sys.stderr)
+        return 2
     n_shards = args.shards
     try:
         if n_shards is None:
@@ -833,10 +998,27 @@ def _cmd_cluster_proxy(args) -> int:
         return 2
     registry = None
     metrics_server = None
-    if args.metrics_port is not None:
+    federation_server = None
+    if args.metrics_port is not None or args.federate_port is not None:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    span_exporter = None
+    if args.span_dir is not None:
+        from pathlib import Path
+
+        from repro.obs import SpanExporter
+
+        span_dir = Path(args.span_dir)
+        span_dir.mkdir(parents=True, exist_ok=True)
+        span_exporter = SpanExporter(span_dir / "proxy.spans.jsonl",
+                                     wall=True)
+        print(f"proxy request spans into {span_dir / 'proxy.spans.jsonl'}")
+    if args.flight_dir is not None:
+        from repro.obs import set_flight_dump_dir
+
+        set_flight_dump_dir(args.flight_dir)
+        print(f"flight recorder armed: dumps into {args.flight_dir}")
     proxy = ClusterProxy(
         cmap, host=host, port=port,
         window=args.window, retries=args.retries,
@@ -844,28 +1026,43 @@ def _cmd_cluster_proxy(args) -> int:
         hold_timeout=args.hold_timeout,
         migration_timeout=args.migration_timeout,
         registry=registry,
+        span_exporter=span_exporter,
     )
     try:
         with _SignalStop() as stop:
+            _install_flight_dump_signal()
             try:
                 proxy.start(check_backends=True)
             except (OSError, RemoteError) as exc:
                 print(f"cluster proxy failed to start: {exc}", file=sys.stderr)
                 return 2
-            if registry is not None:
+            if args.metrics_port is not None:
                 from repro.obs import MetricsServer
 
                 metrics_server = MetricsServer(
                     registry, port=args.metrics_port).start()
                 print(f"metrics exposed at {metrics_server.url}")
+            if args.federate_port is not None:
+                from repro.obs import FederationServer, Federator
+
+                federation_server = FederationServer(
+                    Federator(federation_targets, local_registry=registry),
+                    port=args.federate_port).start()
+                print(f"federated metrics at {federation_server.url} "
+                      f"({len(federation_targets)} backend target(s))",
+                      flush=True)
             print(f"listening on {proxy.host}:{proxy.port}", flush=True)
             print(f"cluster map: {proxy.table.map!r}", flush=True)
             stop.event.wait()
         print("signal received: closing proxy")
     finally:
         proxy.stop()
+        if span_exporter is not None:
+            span_exporter.close()
         if metrics_server is not None:
             metrics_server.stop()
+        if federation_server is not None:
+            federation_server.stop()
     status = proxy.status()
     print(f"final map: {proxy.table.map!r} "
           f"({status['n_migrations']} migration(s))")
@@ -933,6 +1130,148 @@ def _cmd_cluster(args) -> int:
     return _cmd_cluster_control(args)
 
 
+def _top_value(families: dict, family: str, **labels) -> float:
+    """Sum of a family's samples whose labels include ``labels``."""
+    fam = families.get(family)
+    if fam is None:
+        return 0.0
+    want = set(labels.items())
+    return sum(value for sample_name, sample_labels, value in fam.samples
+               if sample_name == family and want <= set(sample_labels))
+
+
+def _top_histogram_quantile(families: dict, family: str, q: float,
+                            **labels) -> float:
+    """``q``-quantile (ms) from cumulative ``<family>_bucket`` samples.
+
+    Linear interpolation within the winning bucket, the standard
+    Prometheus ``histogram_quantile`` estimate; +Inf-bucket hits clamp
+    to the largest finite edge.
+    """
+    fam = families.get(family)
+    if fam is None:
+        return 0.0
+    want = set(labels.items())
+    buckets: dict[float, float] = {}
+    for sample_name, sample_labels, value in fam.samples:
+        if sample_name != f"{family}_bucket":
+            continue
+        label_map = dict(sample_labels)
+        le = label_map.pop("le", None)
+        if le is None or not want <= set(label_map.items()):
+            continue
+        edge = float("inf") if le in ("+Inf", "inf") else float(le)
+        buckets[edge] = buckets.get(edge, 0.0) + value
+    if not buckets:
+        return 0.0
+    edges = sorted(buckets)
+    total = buckets[edges[-1]]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    prev_edge, prev_count = 0.0, 0.0
+    for edge in edges:
+        count = buckets[edge]
+        if count >= rank:
+            if edge == float("inf"):
+                finite = [e for e in edges if e != float("inf")]
+                return 1e3 * (finite[-1] if finite else 0.0)
+            if count == prev_count:
+                return 1e3 * edge
+            frac = (rank - prev_count) / (count - prev_count)
+            return 1e3 * (prev_edge + frac * (edge - prev_edge))
+        prev_edge, prev_count = edge, count
+    return 1e3 * edges[-1]
+
+
+def _top_backends(families: dict) -> list[str]:
+    """Backend ids present in the page, excluding synthetic aggregates."""
+    ids: list[str] = []
+    for family in ("repro_federation_up", "repro_requests_total"):
+        fam = families.get(family)
+        if fam is None:
+            continue
+        for _name, sample_labels, _value in fam.samples:
+            for key, value in sample_labels:
+                if (key == "backend" and value not in ("all", "max", "proxy")
+                        and value not in ids):
+                    ids.append(value)
+        if ids:
+            return ids
+    # A plain (un-federated) backend page has no backend label at all.
+    return [""]
+
+
+def _render_top(families: dict, prev: dict | None, dt: float | None) -> str:
+    """One ``repro top`` frame from a parsed (federated) metrics page."""
+    table = Table(
+        ["backend", "req/s", "requests", "p50 ms", "p99 ms", "queue", "up"],
+        title="cluster top",
+    )
+    for backend in _top_backends(families):
+        labels = {"backend": backend} if backend else {}
+        requests = _top_value(families, "repro_requests_total", **labels)
+        rate = float("nan")
+        if prev is not None and dt is not None and dt > 0:
+            rate = (requests - _top_value(prev, "repro_requests_total",
+                                          **labels)) / dt
+        up_fam = families.get("repro_federation_up")
+        up = ("yes" if _top_value(families, "repro_federation_up", **labels)
+              else "DOWN") if up_fam is not None and backend else "-"
+        table.add_row(
+            backend or "(local)",
+            "-" if rate != rate else f"{rate:,.0f}",
+            int(requests),
+            _top_histogram_quantile(
+                families, "repro_batch_latency_seconds", 0.50, **labels),
+            _top_histogram_quantile(
+                families, "repro_batch_latency_seconds", 0.99, **labels),
+            int(_top_value(families, "repro_queue_depth", **labels)),
+            up,
+        )
+    epoch = _top_value(families, "repro_proxy_epoch", backend="proxy")
+    if not epoch:
+        epoch = _top_value(families, "repro_proxy_epoch")
+    migrations = _top_value(families, "repro_proxy_migrations_total")
+    inflight = _top_value(families, "repro_proxy_migrations_inflight")
+    footer = (f"epoch {int(epoch)}, {int(migrations)} migration(s) done, "
+              f"{int(inflight)} in flight")
+    return f"{table.render()}\n{footer}"
+
+
+def _cmd_top(args) -> int:
+    """``top``: poll a (federated) /metrics page into a live status table."""
+    from time import monotonic, sleep
+
+    from repro.obs import parse_exposition
+    from repro.obs.federation import scrape
+
+    prev: dict | None = None
+    prev_at: float | None = None
+    refreshes = 0
+    try:
+        while True:
+            try:
+                text = scrape(args.url, timeout=5.0)
+            except (OSError, ValueError) as exc:
+                print(f"top: scrape of {args.url} failed: {exc}",
+                      file=sys.stderr)
+                return 1
+            now = monotonic()
+            families = parse_exposition(text)
+            dt = None if prev_at is None else now - prev_at
+            print(_render_top(families, prev, dt), flush=True)
+            refreshes += 1
+            if args.once or (args.iterations
+                             and refreshes >= args.iterations):
+                return 0
+            prev, prev_at = families, now
+            sleep(args.interval)
+            print()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -952,6 +1291,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "report":
         from repro.analysis.report import consolidate_results
 

@@ -65,6 +65,7 @@ from repro.net.frame import (
     encode,
 )
 from repro.obs.registry import null_registry
+from repro.obs.rtrace import SpanExporter, TraceContext, flight_recorder
 from repro.service.router import ShardRouter
 
 __all__ = ["ClusterProxy", "RoutingTable"]
@@ -175,13 +176,16 @@ class RoutingTable:
 class _Work:
     """One per-backend part of one front submit."""
 
-    __slots__ = ("pending", "pages", "levels", "attempts")
+    __slots__ = ("pending", "pages", "levels", "attempts", "trace")
 
-    def __init__(self, pending: "_FrontPending", pages: tuple, levels: tuple) -> None:
+    def __init__(self, pending: "_FrontPending", pages: tuple, levels: tuple,
+                 trace: TraceContext | None = None) -> None:
         self.pending = pending
         self.pages = pages
         self.levels = levels
         self.attempts = 0
+        #: Trace context forwarded to the owning backend (None = untraced).
+        self.trace = trace
 
 
 class _FrontPending:
@@ -318,7 +322,8 @@ class _BackendChannel:
             self._submit(work)
 
     def _submit(self, work: _Work) -> None:
-        rid = self.client.submit_nowait(work.pages, work.levels)
+        rid = self.client.submit_nowait(work.pages, work.levels,
+                                        trace=work.trace)
         self._outstanding[rid] = work
         self._on_forward(self.address)
 
@@ -371,9 +376,16 @@ class ClusterProxy:
         migration_timeout: float = 60.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         registry=None,
+        span_exporter: SpanExporter | None = None,
     ) -> None:
         if window < 1:
             raise ServiceConfigError(f"window must be >= 1, got {window}")
+        #: Optional exporter for ``proxy``-tier spans (admit + per-part
+        #: forward); incoming contexts are forwarded to backends either
+        #: way, so tracing composes across tiers without proxy recording.
+        self._spans = span_exporter
+        self._submit_seq = 0
+        self._seq_lock = threading.Lock()
         self.table = RoutingTable(cluster_map)
         self.router = ShardRouter(cluster_map.n_shards)
         self.window = window
@@ -395,6 +407,8 @@ class ClusterProxy:
             "Parts forwarded to backends", ("backend",))
         self._m_migrations = reg.counter(
             "repro_proxy_migrations_total", "Shard migrations completed")
+        self._m_migrating = reg.gauge(
+            "repro_proxy_migrations_inflight", "Migrations currently running")
         self._m_epoch = reg.gauge(
             "repro_proxy_epoch", "Current cluster map epoch")
         self._m_epoch.set(cluster_map.epoch)
@@ -554,13 +568,31 @@ class ClusterProxy:
         by_backend: dict[str, list[int]] = {}
         for s in shards:
             by_backend.setdefault(cmap.owner_of(s), []).append(s)
+        ctx = (TraceContext.from_wire(msg.trace)
+               if msg.trace is not None else None)
+        admit_ctx = ctx
+        if ctx is not None and self._spans is not None:
+            with self._seq_lock:
+                t = self._submit_seq
+                self._submit_seq += 1
+            admit_ctx = self._spans.emit(
+                ctx, "admit", tier="proxy", t=t,
+                attrs={"n_requests": int(pages.size),
+                       "n_backends": len(by_backend)})
         pending = _FrontPending(conn, msg.id, int(pages.size),
                                 len(by_backend), shards, self.table)
-        for backend, owned in by_backend.items():
+        for idx, (backend, owned) in enumerate(by_backend.items()):
             mask = np.isin(owners, owned)
-            work = _Work(pending,
-                         tuple(int(p) for p in pages[mask]),
-                         tuple(int(v) for v in levels[mask]))
+            part_pages = tuple(int(p) for p in pages[mask])
+            fwd_ctx = admit_ctx
+            if admit_ctx is not None and self._spans is not None:
+                fwd_ctx = self._spans.emit(
+                    admit_ctx, "forward", tier="proxy", t=t, index=idx,
+                    attrs={"backend": backend,
+                           "n_requests": len(part_pages)})
+            work = _Work(pending, part_pages,
+                         tuple(int(v) for v in levels[mask]),
+                         trace=fwd_ctx)
             self._channel(channels, backend).enqueue(work)
 
     def _dispatch_snapshot(self, conn: _FrontConn, msg: Snapshot) -> None:
@@ -677,8 +709,17 @@ class ClusterProxy:
         owner before the state moves and new ones only unblock once
         routing points at the new owner.
         """
-        result = migrate_shard(
-            self.table, shard, target, timeout=self.migration_timeout)
+        self._m_migrating.set(1)
+        try:
+            result = migrate_shard(
+                self.table, shard, target, timeout=self.migration_timeout)
+        except MigrationError:
+            # Preserve the last spans' worth of context for the post-mortem
+            # before the error propagates to the mover.
+            flight_recorder().dump(f"migration-error-shard-{shard}")
+            raise
+        finally:
+            self._m_migrating.set(0)
         if result["moved"]:
             self.n_migrations += 1
             self._m_migrations.inc()

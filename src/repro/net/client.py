@@ -327,13 +327,19 @@ class PagingClient:
 
     # -- submission --------------------------------------------------------
     def submit_batch(self, pages, levels=None, *,
-                     on_overload: str = "retry") -> NetSubmitResult:
+                     on_overload: str = "retry",
+                     trace=None) -> NetSubmitResult:
         """Submit one batch and wait for its final ack.
 
         ``on_overload="retry"`` resends an ``overloaded`` answer up to
         ``retries`` times with capped exponential backoff
         (``min(retry_backoff * 2**(attempt-1), 50ms)``); ``"shed"``
         returns the overloaded ack as-is after the first attempt.
+
+        ``trace`` (a :class:`repro.obs.rtrace.TraceContext` or ``None``)
+        rides in the version-2 frame's optional ``trace`` field; retries
+        resend the same context, so the whole retry storm stitches into
+        one waterfall.
         """
         if on_overload not in ("retry", "shed"):
             raise ValueError(
@@ -341,11 +347,12 @@ class PagingClient:
         pages_t = tuple(int(p) for p in pages)
         levels_t = (tuple(int(v) for v in levels)
                     if levels is not None else ())
+        wire_trace = trace.to_wire() if trace is not None else None
         started = time.monotonic()
         attempt = 0
         while True:
             rid = self._alloc_id()
-            self._send(SubmitBatch(rid, pages_t, levels_t))
+            self._send(SubmitBatch(rid, pages_t, levels_t, trace=wire_trace))
             ack = self._wait_for(rid)
             if not isinstance(ack, SubmitAck):
                 raise RemoteError("bad_request",
@@ -358,13 +365,17 @@ class PagingClient:
                 continue
             return NetSubmitResult(ack, time.monotonic() - started, attempt)
 
-    def submit_nowait(self, pages, levels=None) -> int:
-        """Send a batch without waiting; returns its request id."""
+    def submit_nowait(self, pages, levels=None, *, trace=None) -> int:
+        """Send a batch without waiting; returns its request id.
+
+        ``trace`` propagates exactly as in :meth:`submit_batch`.
+        """
         rid = self._alloc_id()
         self._send(SubmitBatch(
             rid,
             tuple(int(p) for p in pages),
             tuple(int(v) for v in levels) if levels is not None else (),
+            trace=trace.to_wire() if trace is not None else None,
         ))
         self._inflight[rid] = (len(pages), time.monotonic())
         return rid

@@ -49,6 +49,7 @@ from repro.errors import FrameError, FrameTooLargeError, ProtocolVersionError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "HEADER_SIZE",
     "DEFAULT_MAX_FRAME_BYTES",
     "STATUSES",
@@ -77,7 +78,15 @@ __all__ = [
 ]
 
 #: Current wire protocol version, carried in every frame header.
-PROTOCOL_VERSION = 1
+#: Version 2 (PR 7) added the optional ``trace`` field on
+#: :class:`SubmitBatch`; the payload schema is otherwise unchanged, so
+#: both versions stay accepted (see :data:`SUPPORTED_VERSIONS`) and a v1
+#: peer simply never sees or sends trace contexts — unknown payload keys
+#: are ignored by :func:`message_from_payload` by design.
+PROTOCOL_VERSION = 2
+
+#: Frame header versions this peer decodes.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 _HEADER = struct.Struct(">IB")  # payload length, protocol version
 HEADER_SIZE = _HEADER.size
@@ -124,10 +133,16 @@ class SubmitBatch:
     id: int
     pages: tuple[int, ...]
     levels: tuple[int, ...] = ()
+    #: Optional request-trace context, ``(trace_hex, span_hex, sampled)``
+    #: — see :class:`repro.obs.rtrace.TraceContext`.  ``None`` (the v1
+    #: shape) means untraced.
+    trace: tuple | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pages", _int_tuple(self.pages))
         object.__setattr__(self, "levels", _int_tuple(self.levels))
+        if self.trace is not None:
+            object.__setattr__(self, "trace", tuple(self.trace))
 
 
 @_register
@@ -375,6 +390,11 @@ _FIELD_CHECKS = {
     "source": ("a string", lambda v: isinstance(v, str)),
     "target": ("a string", lambda v: isinstance(v, str)),
     "cluster": ("an object", lambda v: isinstance(v, dict)),
+    "trace": ("null or [trace, span, sampled]",
+              lambda v: v is None or (
+                  isinstance(v, (list, tuple)) and len(v) == 3
+                  and isinstance(v[0], str) and isinstance(v[1], str)
+                  and isinstance(v[2], (bool, int)))),
 }
 
 _MISSING = object()
@@ -419,16 +439,28 @@ def message_from_payload(payload) -> object:
 
 
 def encode(msg, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
-    """One wire frame for ``msg``; raises if it exceeds ``max_frame_bytes``."""
+    """One wire frame for ``msg``; raises if it exceeds ``max_frame_bytes``.
+
+    The header version is negotiated per message: frames that carry a
+    trace context need the v2 envelope, everything else is emitted as v1
+    (with the ``trace`` key elided) so trace-free traffic stays byte-
+    and version-compatible with pre-PR-7 peers.
+    """
+    payload_dict = message_to_payload(msg)
+    version = 1
+    if payload_dict.get("trace") is not None:
+        version = PROTOCOL_VERSION
+    elif "trace" in payload_dict:
+        del payload_dict["trace"]
     payload = json.dumps(
-        message_to_payload(msg), separators=(",", ":"), ensure_ascii=False
+        payload_dict, separators=(",", ":"), ensure_ascii=False
     ).encode("utf-8")
     if len(payload) > max_frame_bytes:
         raise FrameTooLargeError(
             f"{msg.type} frame payload is {len(payload)} bytes, "
             f"over the {max_frame_bytes}-byte cap"
         )
-    return _HEADER.pack(len(payload), PROTOCOL_VERSION) + payload
+    return _HEADER.pack(len(payload), version) + payload
 
 
 class FrameDecoder:
@@ -474,10 +506,10 @@ class FrameDecoder:
             if len(self._buf) < HEADER_SIZE:
                 break
             length, version = _HEADER.unpack_from(self._buf)
-            if version != PROTOCOL_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 events.append(ProtocolVersionError(
                     f"unsupported protocol version {version} "
-                    f"(this peer speaks {PROTOCOL_VERSION})"
+                    f"(this peer speaks {sorted(SUPPORTED_VERSIONS)})"
                 ))
                 self.n_errors += 1
                 del self._buf[:HEADER_SIZE]

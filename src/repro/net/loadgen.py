@@ -26,10 +26,12 @@ the backoff), ``"shed"`` drops and counts.
 from __future__ import annotations
 
 import threading
+from pathlib import Path
 from time import perf_counter, sleep
 
 from repro.core.requests import RequestSequence
 from repro.net.client import NetSubmitResult, PagingClient
+from repro.obs.rtrace import RequestSampler, SpanExporter
 from repro.service.loadgen import LoadReport, summarize_latencies
 
 __all__ = ["run_network_load"]
@@ -68,7 +70,7 @@ class _ConnStats:
 
 def _drive_connection(
     address: str,
-    batches: list[tuple[float, object, object]],
+    batches: list[tuple[float, int, object, object]],
     stats: _ConnStats,
     *,
     window: int,
@@ -77,45 +79,75 @@ def _drive_connection(
     retry_backoff: float,
     on_overload: str,
     started: float,
+    sampler: RequestSampler | None = None,
+    exporter: SpanExporter | None = None,
 ) -> None:
-    """Thread body: replay this connection's slice of the batch stream."""
+    """Thread body: replay this connection's slice of the batch stream.
+
+    When ``sampler`` is set, every batch carries a trace context derived
+    from its *global* batch index ``t`` (so the sampled set is a pure
+    function of ``(trace_seed, t)``, independent of connection count);
+    the ``client:submit`` span is exported once the final ack lands,
+    with the round-trip latency as its duration.
+    """
     try:
         client = PagingClient(address, timeout=timeout, retries=max_retries,
                               retry_backoff=retry_backoff)
+
+        def ctx_for(t):
+            return sampler.context(t) if sampler is not None else None
+
+        def export(ctx, t, n, result) -> None:
+            if exporter is not None and ctx is not None:
+                exporter.emit(
+                    ctx, "submit", tier="client", t=t,
+                    attrs={"n_requests": n, "status": result.status},
+                    dur=result.latency_s)
+
         with client:
             if window <= 1:
-                for due, pages, levels in batches:
+                for due, t, pages, levels in batches:
                     now = perf_counter()
                     if now < started + due:
                         sleep(started + due - now)
-                    stats.absorb(client.submit_batch(
-                        pages, levels, on_overload=on_overload))
+                    ctx = ctx_for(t)
+                    result = client.submit_batch(
+                        pages, levels, on_overload=on_overload,
+                        trace=ctx.child("submit") if ctx is not None else None)
+                    stats.absorb(result)
+                    export(ctx, t, len(pages), result)
                 return
             # Pipelined: keep up to ``window`` submits in flight; an
             # overloaded ack is resubmitted immediately (the open window
             # already provides the pushback a sleep would).
-            budgets: dict[int, tuple[object, object, int]] = {}
+            budgets: dict[int, tuple[object, object, int, int, object]] = {}
             it = iter(batches)
 
             def reap() -> None:
                 rid, result = client.collect_any()
-                pages, levels, attempts = budgets.pop(rid)
+                pages, levels, attempts, t, ctx = budgets.pop(rid)
                 if (result.retryable and on_overload == "retry"
                         and attempts < max_retries):
                     stats.n_overloaded += 1
-                    nrid = client.submit_nowait(pages, levels)
-                    budgets[nrid] = (pages, levels, attempts + 1)
+                    nrid = client.submit_nowait(
+                        pages, levels,
+                        trace=ctx.child("submit") if ctx is not None else None)
+                    budgets[nrid] = (pages, levels, attempts + 1, t, ctx)
                 else:
                     stats.absorb(result)
+                    export(ctx, t, len(pages), result)
 
-            for due, pages, levels in it:
+            for due, t, pages, levels in it:
                 now = perf_counter()
                 if now < started + due:
                     sleep(started + due - now)
                 while client.inflight >= window:
                     reap()
-                rid = client.submit_nowait(pages, levels)
-                budgets[rid] = (pages, levels, 0)
+                ctx = ctx_for(t)
+                rid = client.submit_nowait(
+                    pages, levels,
+                    trace=ctx.child("submit") if ctx is not None else None)
+                budgets[rid] = (pages, levels, 0, t, ctx)
             while client.inflight:
                 reap()
     except BaseException as exc:  # noqa: BLE001 - reported via the stats
@@ -135,6 +167,9 @@ def run_network_load(
     retry_backoff: float = 0.001,
     on_overload: str = "retry",
     drain_timeout: float | None = 30.0,
+    trace_sample: float = 0.0,
+    trace_seed: int = 0,
+    span_dir: str | Path | None = None,
 ) -> LoadReport:
     """Replay ``seq`` against a remote server at ``rate`` requests/second.
 
@@ -144,6 +179,15 @@ def run_network_load(
     accounting is never silently reported as a healthy run.  The service
     is drained through the wire before reporting, so a subsequent
     snapshot covers every accepted request.
+
+    ``span_dir`` switches on request tracing: every batch carries a
+    trace context keyed by its global batch index, sampled at
+    ``trace_sample`` under ``trace_seed`` (the deterministic tracing
+    sampler), and ``client.spans.jsonl`` in that directory records one
+    ``client:submit`` span per sampled batch.  ``span_dir`` with
+    ``trace_sample=0.0`` still *propagates* contexts on the wire without
+    recording any — the configuration the trace-overhead benchmark
+    measures.
     """
     if rate <= 0:
         raise ValueError(f"rate must be > 0, got {rate}")
@@ -156,17 +200,29 @@ def run_network_load(
     if on_overload not in ("retry", "shed"):
         raise ValueError(
             f"on_overload must be 'retry' or 'shed', got {on_overload!r}")
+    if not 0.0 <= trace_sample <= 1.0:
+        raise ValueError(
+            f"trace_sample must be in [0, 1], got {trace_sample}")
     pages, levels = seq.pages, seq.levels
     n = len(seq)
     # Deal batches round-robin by global index; each keeps its *global*
-    # open-loop due offset so C connections still offer ``rate`` req/s.
-    slices: list[list[tuple[float, object, object]]] = [
+    # open-loop due offset so C connections still offer ``rate`` req/s,
+    # and its global index ``i`` doubles as the tracing sampler's clock.
+    slices: list[list[tuple[float, int, object, object]]] = [
         [] for _ in range(connections)
     ]
     for i, lo in enumerate(range(0, n, batch_size)):
         slices[i % connections].append(
-            (lo / rate, pages[lo:lo + batch_size], levels[lo:lo + batch_size])
+            (lo / rate, i,
+             pages[lo:lo + batch_size], levels[lo:lo + batch_size])
         )
+    sampler: RequestSampler | None = None
+    exporter: SpanExporter | None = None
+    if span_dir is not None:
+        directory = Path(span_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        sampler = RequestSampler(seed=trace_seed, sample=trace_sample)
+        exporter = SpanExporter(directory / "client.spans.jsonl", wall=True)
     stats = [_ConnStats() for _ in range(connections)]
     addr = parse_host(address)
     started = perf_counter()
@@ -177,16 +233,20 @@ def run_network_load(
             kwargs=dict(window=window, timeout=timeout,
                         max_retries=0 if on_overload == "shed" else max_retries,
                         retry_backoff=retry_backoff, on_overload=on_overload,
-                        started=started),
+                        started=started, sampler=sampler, exporter=exporter),
             name=f"repro-netload-{c}",
             daemon=True,
         )
         for c in range(connections)
     ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        if exporter is not None:
+            exporter.close()
     for s in stats:
         if s.error is not None:
             raise s.error

@@ -66,6 +66,7 @@ from repro.net.frame import (
     SubmitBatch,
     encode,
 )
+from repro.obs.rtrace import SpanExporter, TraceContext
 from repro.service.ingest import BatchTicket, Failed, Overloaded
 from repro.service.server import PagingService
 
@@ -75,15 +76,20 @@ __all__ = ["NetServer"]
 class _Request:
     """One outstanding submit on one connection."""
 
-    __slots__ = ("id", "n_requests", "started", "responded")
+    __slots__ = ("id", "n_requests", "started", "responded", "trace", "t")
 
-    def __init__(self, request_id: int, n_requests: int, started: float) -> None:
+    def __init__(self, request_id: int, n_requests: int, started: float,
+                 trace: TraceContext | None = None, t: int = 0) -> None:
         self.id = request_id
         self.n_requests = n_requests
         self.started = started
         #: Exactly one SubmitAck per request id: set when any path (shed,
         #: deadline, completion) claims the response slot.
         self.responded = False
+        #: Trace context carried in the submit frame (None when untraced).
+        self.trace = trace
+        #: Connection-local submit index, the ack span's logical time.
+        self.t = t
 
 
 class _Connection:
@@ -120,12 +126,17 @@ class NetServer:
         admission: AdmissionPolicy | None = None,
         fault_plan=None,
         registry=None,
+        span_exporter: SpanExporter | None = None,
     ) -> None:
         self.service = service
         self.admission = admission if admission is not None else AdmissionPolicy()
         self._host = host
         self._requested_port = port
         self._plan = fault_plan
+        #: Optional exporter for ``net``-tier ack spans; the backing
+        #: service emits its own svc/shard spans when request tracing is
+        #: enabled, this covers the frontend's slice of the waterfall.
+        self._spans = span_exporter
         reg = registry if registry is not None else service.registry
         self._m_connections = reg.counter(
             "repro_net_connections_total", "Connections accepted")
@@ -378,7 +389,9 @@ class NetServer:
                     return False  # request vanishes; the client times out
                 else:  # kill: abrupt close, mid-protocol
                     return True
-        entry = _Request(msg.id, len(msg.pages), loop.time())
+        ctx = (TraceContext.from_wire(msg.trace)
+               if msg.trace is not None else None)
+        entry = _Request(msg.id, len(msg.pages), loop.time(), trace=ctx, t=t)
         victim = conn.window.admit(msg.id, entry)
         self._m_inflight.inc()
         if victim is not None and not victim.responded:
@@ -392,7 +405,7 @@ class NetServer:
         levels = (np.asarray(msg.levels, dtype=np.int64)
                   if msg.levels else None)
         try:
-            result = self.service.submit_batch(pages, levels)
+            result = self.service.submit_batch(pages, levels, trace=ctx)
         except (InvalidRequestError, InvalidInstanceError, ValueError) as exc:
             self._finish(conn, entry)
             await self._send(conn, Error(msg.id, "bad_request", str(exc)))
@@ -459,8 +472,14 @@ class NetServer:
         status = "ok" if ticket.ok else "failed"
         detail = "" if ticket.ok else repr(ticket.errors[0] if ticket.errors
                                            else "shard slice failed")
-        self._m_latency.observe(loop.time() - entry.started)
+        elapsed = loop.time() - entry.started
+        self._m_latency.observe(elapsed)
         self._finish(conn, entry)
+        if self._spans is not None and entry.trace is not None:
+            self._spans.emit(
+                entry.trace, "ack", tier="net", t=entry.t,
+                attrs={"status": status, "n_requests": entry.n_requests},
+                dur=elapsed)
         await self._send(conn, SubmitAck(
             entry.id, status, entry.n_requests, detail=detail))
 

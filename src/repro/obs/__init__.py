@@ -18,6 +18,15 @@ CLI and the benchmark harness:
 * **Phase profiler** (:mod:`repro.obs.spans`) — context-manager spans
   (``ingest``, ``route``, ``evict``, ``snapshot``) aggregated per run and
   per shard, surfaced in service snapshots.
+* **Request tracing** (:mod:`repro.obs.rtrace`) — deterministic causal
+  trace contexts carried in the wire envelope and per-tier span JSONL
+  (client → proxy → backend → shard) stitched into waterfalls, plus a
+  crash flight recorder.  Sampling reuses the decision tracer's pure
+  ``(seed, t)`` function, so span files are byte-identical across
+  execution backends.
+* **Federation** (:mod:`repro.obs.federation`) — scrape N backend
+  ``/metrics`` pages, re-label by backend id, aggregate
+  (``backend="all"``/``"max"``) and serve the cluster view on one port.
 
 Quick start::
 
@@ -29,6 +38,12 @@ Quick start::
     print(replay_trace("run.jsonl").render())
 """
 
+from repro.obs.federation import (
+    FederationServer,
+    Federator,
+    federate,
+    parse_exposition,
+)
 from repro.obs.http import MetricsServer
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -42,6 +57,18 @@ from repro.obs.registry import (
     get_registry,
     null_registry,
     set_registry,
+)
+from repro.obs.rtrace import (
+    FlightRecorder,
+    RequestSampler,
+    SpanExporter,
+    TraceContext,
+    flight_recorder,
+    longest_chain,
+    read_spans,
+    render_waterfall,
+    set_flight_dump_dir,
+    stitch_spans,
 )
 from repro.obs.spans import PhaseProfiler, SpanStats, merge_span_stats
 from repro.obs.tracer import (
@@ -71,6 +98,20 @@ __all__ = [
     "PhaseProfiler",
     "SpanStats",
     "merge_span_stats",
+    "TraceContext",
+    "RequestSampler",
+    "SpanExporter",
+    "FlightRecorder",
+    "flight_recorder",
+    "set_flight_dump_dir",
+    "read_spans",
+    "stitch_spans",
+    "longest_chain",
+    "render_waterfall",
+    "Federator",
+    "FederationServer",
+    "federate",
+    "parse_exposition",
     "TRACE_SCHEMA",
     "TRACE_VERSION",
     "DecisionTracer",

@@ -1,0 +1,314 @@
+"""Metrics federation: one cluster-wide exposition page from N backends.
+
+The proxy (or any aggregator) scrapes each backend's ``/metrics`` page,
+re-labels every sample with ``backend="<id>"``, and serves the merged
+view on a single Prometheus port.  On top of the per-backend samples the
+page carries synthetic aggregate series:
+
+* ``backend="all"`` — the sum across backends, for every family.
+  Counters and histogram ``_bucket``/``_sum``/``_count`` samples sum
+  exactly (histogram merge is associative: bucket counts with equal
+  ``le`` add), so a consumer reading only the ``all`` rows sees the same
+  totals it would get by summing the individual scrapes itself — the
+  property the CI smoke job asserts.
+* ``backend="max"`` — additionally for gauges, where a sum (e.g. of
+  epochs) can be meaningless but the max is not.
+
+Liveness of each scrape target is reported as
+``repro_federation_up{backend="<id>"}``; an unreachable backend simply
+drops out of the merged families for that scrape rather than failing
+the whole page.
+
+Everything is stdlib: :mod:`urllib.request` for scraping and the same
+``ThreadingHTTPServer``-on-a-daemon-thread shape as
+:class:`~repro.obs.http.MetricsServer` for serving.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import urllib.request
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.registry import MetricsRegistry, _fmt_value
+
+__all__ = [
+    "ExpositionFamily",
+    "parse_exposition",
+    "federate",
+    "scrape",
+    "Federator",
+    "FederationServer",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) ?(.*)$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+@dataclass
+class ExpositionFamily:
+    """One metric family parsed from a text exposition page.
+
+    ``samples`` holds ``(sample_name, labels, value)`` triples where
+    ``labels`` is a tuple of ``(name, value)`` pairs in page order —
+    ``sample_name`` may differ from the family name for histogram
+    ``_bucket``/``_sum``/``_count`` series.
+    """
+
+    name: str
+    help: str = ""
+    type: str = "untyped"
+    samples: list = field(default_factory=list)
+
+
+def _family_of(sample_name: str, known: dict) -> str:
+    """Map a sample name back to its family (histogram suffix stripping)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in known:
+                return base
+    return sample_name
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse a Prometheus text page into ``{family name: ExpositionFamily}``.
+
+    Tolerant of anything :meth:`MetricsRegistry.render` emits; unknown
+    or malformed lines are skipped rather than raised on, since a
+    federating proxy must not die on one odd backend.
+    """
+    families: dict[str, ExpositionFamily] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = _HELP_RE.match(line)
+            if m:
+                fam = families.setdefault(m.group(1),
+                                          ExpositionFamily(m.group(1)))
+                fam.help = m.group(2)
+                continue
+            m = _TYPE_RE.match(line)
+            if m:
+                fam = families.setdefault(m.group(1),
+                                          ExpositionFamily(m.group(1)))
+                fam.type = m.group(2)
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            continue
+        sample_name, raw_labels, raw_value = m.groups()
+        try:
+            value = float(raw_value)
+        except ValueError:
+            continue
+        labels = tuple(
+            (lm.group(1), lm.group(2))
+            for lm in _LABEL_RE.finditer(raw_labels or "")
+        )
+        fam_name = _family_of(sample_name, families)
+        fam = families.setdefault(fam_name, ExpositionFamily(fam_name))
+        fam.samples.append((sample_name, labels, value))
+    return families
+
+
+def _fmt_sample(sample_name: str, labels, value) -> str:
+    if labels:
+        body = ",".join(f'{k}="{v}"' for k, v in labels)
+        return f"{sample_name}{{{body}}} {_fmt_value(value)}"
+    return f"{sample_name} {_fmt_value(value)}"
+
+
+def federate(pages: dict, *, up: dict | None = None) -> str:
+    """Merge per-backend exposition pages into one cluster-wide page.
+
+    ``pages`` maps backend id -> exposition text.  Every sample is
+    re-emitted with a leading ``backend="<id>"`` label, followed by
+    synthetic ``backend="all"`` sums (and ``backend="max"`` rows for
+    gauges).  ``up`` optionally maps backend id -> bool and becomes the
+    ``repro_federation_up`` gauge (ids missing from ``pages`` — failed
+    scrapes — contribute only there).
+    """
+    parsed = {bid: parse_exposition(text)
+              for bid, text in sorted(pages.items())}
+    names: list[str] = []
+    for fams in parsed.values():
+        for name in fams:
+            if name not in names:
+                names.append(name)
+    out: list[str] = []
+    for name in sorted(names):
+        help_text, type_text = "", "untyped"
+        for fams in parsed.values():
+            fam = fams.get(name)
+            if fam is None:
+                continue
+            if fam.help and not help_text:
+                help_text = fam.help
+            if fam.type != "untyped":
+                type_text = fam.type
+        out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {type_text}")
+        # (sample_name, labels) -> [sum, max]; insertion order = first seen.
+        aggregates: dict = {}
+        for bid, fams in parsed.items():
+            fam = fams.get(name)
+            if fam is None:
+                continue
+            for sample_name, labels, value in fam.samples:
+                out.append(_fmt_sample(
+                    sample_name, (("backend", bid),) + labels, value))
+                cell = aggregates.get((sample_name, labels))
+                if cell is None:
+                    aggregates[(sample_name, labels)] = [value, value]
+                else:
+                    cell[0] += value
+                    cell[1] = max(cell[1], value)
+        for (sample_name, labels), (total, peak) in aggregates.items():
+            out.append(_fmt_sample(
+                sample_name, (("backend", "all"),) + labels, total))
+            if type_text == "gauge":
+                out.append(_fmt_sample(
+                    sample_name, (("backend", "max"),) + labels, peak))
+    if up is not None:
+        out.append("# HELP repro_federation_up "
+                   "Whether the last scrape of this backend succeeded")
+        out.append("# TYPE repro_federation_up gauge")
+        for bid in sorted(up):
+            out.append(_fmt_sample("repro_federation_up",
+                                   (("backend", bid),), 1 if up[bid] else 0))
+    return "\n".join(out) + "\n" if out else ""
+
+
+def scrape(url: str, *, timeout: float = 2.0) -> str:
+    """Fetch one exposition page over HTTP."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode("utf-8")
+
+
+class Federator:
+    """Scrapes a set of backend ``/metrics`` URLs and merges the pages.
+
+    ``targets`` maps backend id -> scrape URL.  A local registry (the
+    proxy's own forwarding/migration counters) joins the merge under
+    ``local_id`` without an HTTP round trip.  Scrape failures mark the
+    backend down in ``repro_federation_up`` and skip its samples.
+    """
+
+    def __init__(self, targets: dict, *,
+                 local_registry: MetricsRegistry | None = None,
+                 local_id: str = "proxy", timeout: float = 2.0) -> None:
+        self.targets = dict(targets)
+        self.local_registry = local_registry
+        self.local_id = local_id
+        self.timeout = timeout
+
+    def render(self) -> str:
+        """One fresh scrape of every target, merged into a single page."""
+        pages: dict = {}
+        up: dict = {}
+        for bid, url in self.targets.items():
+            try:
+                pages[bid] = scrape(url, timeout=self.timeout)
+                up[bid] = True
+            except (OSError, ValueError):
+                up[bid] = False
+        if self.local_registry is not None:
+            pages[self.local_id] = self.local_registry.render()
+        return federate(pages, up=up)
+
+
+class FederationServer:
+    """Serves a :class:`Federator` at ``/metrics`` from a daemon thread.
+
+    The cluster-wide twin of :class:`~repro.obs.http.MetricsServer`:
+    ``port=0`` binds an ephemeral port, ``/healthz`` answers ``ok``, and
+    each scrape triggers a fresh fan-out to the backends.
+    """
+
+    def __init__(self, federator: Federator, *, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self.federator = federator
+        self._host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL."""
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def start(self) -> "FederationServer":
+        """Bind and start serving on a daemon thread."""
+        if self._httpd is not None:
+            return self
+        federator = self.federator
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = federator.render().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args) -> None:
+                pass  # scrapes should not spam the CLI
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-federation",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "FederationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "serving" if self._httpd is not None else "stopped"
+        return f"FederationServer({self.url}, {state})"

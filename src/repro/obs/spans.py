@@ -22,25 +22,66 @@ __all__ = ["SpanStats", "PhaseProfiler"]
 
 @dataclass(frozen=True)
 class SpanStats:
-    """Aggregate timing of one named phase."""
+    """Aggregate timing of one named phase.
+
+    ``min_s`` and ``sq_s`` (sum of squared durations) ride along so
+    merged aggregates can still report spread: min/max bound the range
+    and ``sq_s`` yields the exact pooled standard deviation — both fold
+    associatively under :meth:`merged`, unlike a stored stddev.  The new
+    fields default so positional ``SpanStats(name, n, total, max)``
+    construction (pre-existing callers and tests) keeps working.
+    """
 
     name: str
     n: int
     total_s: float
     max_s: float
+    min_s: float = 0.0
+    sq_s: float = 0.0
 
     @property
     def mean_ms(self) -> float:
         """Mean duration per entry, in milliseconds."""
         return 1e3 * self.total_s / self.n if self.n else 0.0
 
+    @property
+    def min_ms(self) -> float:
+        """Minimum single duration, in milliseconds."""
+        return 1e3 * self.min_s
+
+    @property
+    def stddev_ms(self) -> float:
+        """Population standard deviation of durations, in milliseconds.
+
+        Computed from the sum of squares; the variance is clamped at
+        zero because float cancellation can drive it epsilon-negative
+        when all durations are (near-)equal.
+        """
+        if self.n < 1:
+            return 0.0
+        mean = self.total_s / self.n
+        var = self.sq_s / self.n - mean * mean
+        return 1e3 * var ** 0.5 if var > 0.0 else 0.0
+
     def merged(self, other: "SpanStats") -> "SpanStats":
-        """The aggregate of this and another stats record (same name)."""
+        """The aggregate of this and another stats record (same name).
+
+        Empty records (``n == 0``) are identity elements: their zero
+        ``min_s`` must not clobber a real minimum from the other side.
+        """
+        if self.n == 0:
+            min_s = other.min_s
+        elif other.n == 0:
+            min_s = self.min_s
+        else:
+            min_s = min(self.min_s, other.min_s)
         return SpanStats(
             name=self.name,
             n=self.n + other.n,
             total_s=self.total_s + other.total_s,
             max_s=max(self.max_s, other.max_s),
+            min_s=min_s,
+            sq_s=self.sq_s + other.sq_s,
         )
 
 
@@ -63,12 +104,13 @@ class _Span:
 
 
 class PhaseProfiler:
-    """Accumulates (count, total, max) per span name."""
+    """Accumulates (count, total, max, min, sum-of-squares) per span name."""
 
     __slots__ = ("_cells", "_spans")
 
     def __init__(self) -> None:
-        # name -> [n, total_s, max_s]; lists so record() is two updates.
+        # name -> [n, total_s, max_s, min_s, sq_s]; lists so record()
+        # stays a handful of in-place updates.
         self._cells: dict[str, list] = {}
         self._spans: dict[str, _Span] = {}
 
@@ -83,17 +125,21 @@ class PhaseProfiler:
         """Record one completed phase duration directly."""
         cell = self._cells.get(name)
         if cell is None:
-            self._cells[name] = [1, seconds, seconds]
+            self._cells[name] = [1, seconds, seconds, seconds,
+                                 seconds * seconds]
             return
         cell[0] += 1
         cell[1] += seconds
         if seconds > cell[2]:
             cell[2] = seconds
+        if seconds < cell[3]:
+            cell[3] = seconds
+        cell[4] += seconds * seconds
 
     def stats(self) -> dict[str, SpanStats]:
         """Point-in-time aggregate per span name."""
         return {
-            name: SpanStats(name, cell[0], cell[1], cell[2])
+            name: SpanStats(name, cell[0], cell[1], cell[2], cell[3], cell[4])
             for name, cell in self._cells.items()
         }
 
@@ -108,6 +154,9 @@ class PhaseProfiler:
                 mine[1] += cell[1]
                 if cell[2] > mine[2]:
                     mine[2] = cell[2]
+                if cell[3] < mine[3]:
+                    mine[3] = cell[3]
+                mine[4] += cell[4]
 
     def clear(self) -> None:
         """Drop all accumulated stats (spans stay usable)."""

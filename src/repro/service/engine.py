@@ -102,6 +102,16 @@ class ShardEngine:
         """Requests processed so far (the shard's logical clock)."""
         return self._t
 
+    def totals(self) -> tuple[int, float]:
+        """``(n_evictions, eviction_cost)`` — the exact ledger values.
+
+        The uniform accessor request tracing diffs around a batch to
+        derive ``evict`` span attributes; :class:`ProcEngine` answers the
+        same call from its mirrored worker totals, bit-exactly.
+        """
+        ledger = self.ledger
+        return ledger.n_evictions, ledger.eviction_cost
+
     def set_tracer(self, tracer) -> None:
         """Attach (or with ``None`` detach) a decision tracer.
 

@@ -244,7 +244,8 @@ class ShardSnapshot:
             "n_restores": self.n_restores,
             "n_replayed_batches": self.n_replayed_batches,
             "spans": {
-                name: {"n": s.n, "total_s": s.total_s, "max_s": s.max_s}
+                name: {"n": s.n, "total_s": s.total_s, "max_s": s.max_s,
+                       "min_s": s.min_s, "sq_s": s.sq_s}
                 for name, s in self.spans.items()
             },
         }
@@ -362,10 +363,12 @@ class ServiceSnapshot:
 
     def phase_table(self) -> Table:
         """Per-phase span aggregates (service + shards merged)."""
-        table = Table(["phase", "count", "total s", "mean ms", "max ms"],
+        table = Table(["phase", "count", "total s", "mean ms", "min ms",
+                       "max ms", "stddev ms"],
                       title="phase spans")
         for name, s in self.merged_spans().items():
-            table.add_row(name, s.n, s.total_s, s.mean_ms, 1e3 * s.max_s)
+            table.add_row(name, s.n, s.total_s, s.mean_ms, s.min_ms,
+                          1e3 * s.max_s, s.stddev_ms)
         return table
 
     def render(self, *, include_latency: bool = True,

@@ -335,6 +335,17 @@ class ProcEngine:
         """Requests acked by the worker so far (the mirrored logical clock)."""
         return self._t
 
+    def totals(self) -> tuple[int, float]:
+        """``(n_evictions, eviction_cost)`` from the mirrored totals.
+
+        Acks carry the child ledger's *absolute* values, so at every
+        batch boundary this answer is bit-identical to the in-process
+        :meth:`ShardEngine.totals` — which is what keeps request-trace
+        ``evict`` spans byte-identical across backends.
+        """
+        mirror = self.ledger
+        return mirror.n_evictions, mirror.eviction_cost
+
     def _roundtrip(self, op: tuple) -> tuple:
         conn = self._conn
         if conn is None:

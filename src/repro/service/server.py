@@ -54,6 +54,12 @@ import numpy as np
 from repro.errors import InjectedFault, ServiceStateError
 from repro.faults.checkpoint import ShardCheckpoint
 from repro.obs.registry import null_registry
+from repro.obs.rtrace import (
+    RequestSampler,
+    SpanExporter,
+    TraceContext,
+    flight_recorder,
+)
 from repro.obs.spans import PhaseProfiler
 from repro.obs.tracer import DecisionTracer
 from repro.service.config import ServiceConfig
@@ -72,10 +78,12 @@ _STOP = object()
 class _Part:
     """One shard's slice of an accepted batch, as logged and queued."""
 
-    __slots__ = ("seq", "ticket", "pages", "levels", "completed")
+    __slots__ = ("seq", "ticket", "pages", "levels", "completed",
+                 "trace", "trace_t")
 
     def __init__(self, seq: int, ticket: BatchTicket,
-                 pages: np.ndarray, levels: np.ndarray) -> None:
+                 pages: np.ndarray, levels: np.ndarray,
+                 trace=None, trace_t: int = 0) -> None:
         self.seq = seq
         self.ticket = ticket
         self.pages = pages
@@ -83,6 +91,10 @@ class _Part:
         #: Resolved exactly once (done or failed); guarded by the service
         #: lock so replay and queue consumption cannot double-complete.
         self.completed = False
+        #: Request-trace context for this slice's shard-tier spans (the
+        #: ``queue`` child), plus the logical submit time it was minted at.
+        self.trace = trace
+        self.trace_t = trace_t
 
 
 class _ShardState:
@@ -194,6 +206,12 @@ class PagingService:
         self._started = False
         self._stopped = False
         self._trace_enabled = False
+        self._rtrace = False
+        self._rsampler: RequestSampler | None = None
+        self._svc_spans: SpanExporter | None = None
+        self._shard_spans: list[SpanExporter] = []
+        self._rt_next = 0
+        self._rt_lock = threading.Lock()
         self._n_overloaded = 0
         self._n_batches = 0
         self._errors: list[BaseException] = []
@@ -286,6 +304,10 @@ class PagingService:
         self._stopped = True
         for tracer in self._tracers:
             tracer.close()
+        if self._svc_spans is not None:
+            self._svc_spans.close()
+        for exporter in self._shard_spans:
+            exporter.close()
         self._raise_pending()
 
     @property
@@ -319,7 +341,9 @@ class PagingService:
         """Force the micro-batcher to submit its partial batch, if any."""
         return self._batcher.flush()
 
-    def submit_batch(self, pages, levels=None) -> BatchTicket | Overloaded | Failed:
+    def submit_batch(self, pages, levels=None, *,
+                     trace: TraceContext | None = None,
+                     ) -> BatchTicket | Overloaded | Failed:
         """Submit one micro-batch; returns a ticket or a rejection response.
 
         ``levels`` defaults to all-ones (weighted paging).  In threaded
@@ -331,6 +355,15 @@ class PagingService:
 
         The whole submission is timed under the ``ingest`` span (in inline
         mode that includes serving) and the shard split under ``route``.
+
+        With request tracing armed (:meth:`enable_request_tracing`),
+        ``trace`` carries an upstream :class:`TraceContext` (the network
+        frontend extracts it from the wire envelope); ``None`` makes the
+        service mint its own root from the deterministic submit counter.
+        Sampled submissions emit ``admit``/``route`` and per-shard
+        ``queue`` spans here on the submitting thread — identically in
+        inline and queued modes — and ``batch``/``evict`` spans from
+        whichever thread serves the slice (see :meth:`_serve_part`).
         """
         self._raise_pending()
         if self._stopped:
@@ -342,12 +375,31 @@ class PagingService:
             else:
                 levels = np.ascontiguousarray(levels, dtype=np.int64)
             self.config.instance.validate_sequence(pages, levels)
+            ctx, t = trace, 0
+            if self._rtrace:
+                with self._rt_lock:
+                    t = self._rt_next
+                    self._rt_next += 1
+                if ctx is None:
+                    ctx = self._rsampler.context(t)
             with self.profiler.span("route"):
                 parts = [
                     (shard, p, lv)
                     for shard, (p, lv) in enumerate(self.router.split(pages, levels))
                     if p.size
                 ]
+            queue_ctxs: dict[int, TraceContext] = {}
+            if self._rtrace and ctx is not None:
+                admit = self._svc_spans.emit(
+                    ctx, "admit", tier="svc", t=t,
+                    attrs={"n_requests": int(pages.size)})
+                route = self._svc_spans.emit(
+                    admit, "route", tier="svc", t=t,
+                    attrs={"n_parts": len(parts)})
+                for shard, p, _ in parts:
+                    queue_ctxs[shard] = self._svc_spans.emit(
+                        route, "queue", tier="svc", t=t, index=shard,
+                        attrs={"shard": shard, "n_requests": int(p.size)})
             if not self._started:
                 if self.config.backend == "process":
                     raise ServiceStateError(
@@ -356,7 +408,8 @@ class PagingService:
                     )
                 ticket = BatchTicket(len(parts), int(pages.size))
                 for shard, p, lv in parts:
-                    self.engines[shard].process_batch(p, lv)
+                    self._serve_part(shard, self.engines[shard], p, lv,
+                                     queue_ctxs.get(shard), t)
                     ticket.part_done()
                 self._n_batches += 1
                 return ticket
@@ -379,7 +432,8 @@ class PagingService:
                 for shard, p, lv in parts:
                     state = self._states[shard]
                     state.next_seq += 1
-                    part = _Part(state.next_seq, ticket, p, lv)
+                    part = _Part(state.next_seq, ticket, p, lv,
+                                 queue_ctxs.get(shard), t)
                     state.log.append(part)
                     self._queues[shard].put(part)
                 self._n_batches += 1
@@ -541,7 +595,8 @@ class PagingService:
                         if kill is not None:
                             kill()
                     raise InjectedFault(f"injected fault: {spec}")
-        engine.process_batch(part.pages, part.levels)
+        self._serve_part(state.shard, engine, part.pages, part.levels,
+                         part.trace, part.trace_t)
         state.applied_seq = part.seq
         state.since_checkpoint += int(part.pages.size)
         self._complete_part(part)
@@ -551,6 +606,31 @@ class PagingService:
                 self._take_checkpoint(state, engine)
         else:
             self._prune_log(state)
+
+    def _serve_part(self, shard: int, engine, pages, levels,
+                    ctx: TraceContext | None, t: int) -> None:
+        """Serve one shard slice, emitting shard-tier spans when sampled.
+
+        The ``batch``/``evict`` spans are computed from before/after
+        eviction totals (:meth:`ShardEngine.totals`), which the process
+        backend mirrors bit-exactly from its worker acks — so the shard
+        span files are byte-identical across inline/thread/process
+        backends for the same seed.  Recovery replay re-emits a replayed
+        slice's spans; their ids are deterministic, so stitching dedups
+        them (:func:`repro.obs.rtrace.stitch_spans`).
+        """
+        if ctx is None or not ctx.sampled or not self._rtrace:
+            engine.process_batch(pages, levels)
+            return
+        ev0, cost0 = engine.totals()
+        engine.process_batch(pages, levels)
+        ev1, cost1 = engine.totals()
+        exp = self._shard_spans[shard]
+        batch = exp.emit(ctx, "batch", tier="shard", t=t,
+                         attrs={"shard": shard, "n_requests": int(pages.size)})
+        exp.emit(batch, "evict", tier="shard", t=t,
+                 attrs={"shard": shard, "n_evictions": ev1 - ev0,
+                        "cost": cost1 - cost0})
 
     def _complete_part(self, part: _Part,
                        error: BaseException | None = None) -> None:
@@ -619,6 +699,10 @@ class PagingService:
             engine.profiler.record("replay", perf_counter() - started)
 
     def _on_worker_death(self, state: _ShardState, exc: BaseException) -> None:
+        # Postmortem first: the flight recorder's span rings still hold
+        # the causal context leading up to the death (no-op unless a dump
+        # directory was armed).
+        flight_recorder().dump(f"shard-{state.shard}-death")
         if self._recovery:
             self._death_q.put((state.shard, exc))
             return
@@ -758,6 +842,53 @@ class PagingService:
                 engine.set_tracer(tracer)
                 self._tracers.append(tracer)
             paths.append(path)
+        return paths
+
+    def enable_request_tracing(
+        self,
+        directory,
+        *,
+        sample: float = 1.0,
+        seed: int = 0,
+    ) -> list[Path]:
+        """Arm causal request-span export under ``directory``.
+
+        Writes ``svc.spans.jsonl`` (the ``admit``/``route``/``queue``
+        spans, emitted by the submitting thread) and one
+        ``shard-<i>.spans.jsonl`` per shard (``batch``/``evict`` spans,
+        emitted by whichever thread serves the slice — exactly one
+        logical writer per file on every backend).  Sampling is the
+        decision tracer's pure ``(seed, t)`` function of the service's
+        submit counter, and no record carries wall-clock fields, so two
+        same-seed runs of the same workload produce byte-identical span
+        files regardless of backend — the acceptance property pinned by
+        the rtrace tests.
+
+        Unlike :meth:`enable_tracing` this works on *every* backend
+        including process (spans are emitted parent-side from mirrored
+        eviction totals), but must still be called before any traffic so
+        the submit counter starts at 0.  Exporters are closed by
+        :meth:`stop`.
+        """
+        if self._stopped:
+            raise ServiceStateError("service already stopped")
+        if self._rtrace:
+            raise ServiceStateError("request tracing already enabled")
+        if any(e.n_requests for e in self.engines):
+            raise ServiceStateError(
+                "enable_request_tracing must be called before any traffic"
+            )
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._rsampler = RequestSampler(seed=seed, sample=sample)
+        paths = [directory / "svc.spans.jsonl"]
+        self._svc_spans = SpanExporter(paths[0])
+        self._shard_spans = []
+        for engine in self.engines:
+            path = directory / f"shard-{engine.shard_id}.spans.jsonl"
+            self._shard_spans.append(SpanExporter(path))
+            paths.append(path)
+        self._rtrace = True
         return paths
 
     def snapshot(self) -> ServiceSnapshot:

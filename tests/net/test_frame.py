@@ -43,6 +43,8 @@ from repro.net.frame import (
 ALL_MESSAGES = [
     SubmitBatch(1, (3, 1, 4, 1, 5), (0, 1, 0, 2, 1)),
     SubmitBatch(2, (9,)),
+    SubmitBatch(19, (2, 7), (1, 1),
+                trace=("00c0ffee00c0ffee", "00000000deadbeef", 1)),
     SubmitAck(1, "ok", n_requests=5, shard=2),
     SubmitAck(3, "overloaded", detail="queue full"),
     SubmitAck(4, "shed"),
@@ -190,6 +192,59 @@ class TestResync:
         assert len(events) == 1
         assert isinstance(events[0], FrameError)
         assert "pages" in str(events[0])
+
+
+class TestTraceEnvelope:
+    """The v2 ``trace`` field: version negotiation and compatibility."""
+
+    def test_trace_free_messages_stay_v1_on_the_wire(self):
+        for msg in ALL_MESSAGES:
+            if getattr(msg, "trace", None) is not None:
+                continue
+            assert encode(msg)[4] == 1, msg
+
+    def test_traced_submit_uses_v2(self):
+        msg = SubmitBatch(1, (3,), trace=("aa" * 8, "bb" * 8, 1))
+        blob = encode(msg)
+        assert blob[4] == PROTOCOL_VERSION == 2
+        assert FrameDecoder().feed(blob) == [msg]
+
+    def test_trace_round_trips_through_context(self):
+        from repro.obs.rtrace import TraceContext
+        ctx = TraceContext(0xDEADBEEF, 0xCAFE, True)
+        msg = SubmitBatch(5, (1, 2), trace=ctx.to_wire())
+        (decoded,) = FrameDecoder().feed(encode(msg))
+        assert TraceContext.from_wire(decoded.trace) == ctx
+
+    def test_v1_payload_decodes_untraced(self):
+        blob = _frame(b'{"type":"submit","id":1,"pages":[3]}', version=1)
+        (msg,) = FrameDecoder().feed(blob)
+        assert msg == SubmitBatch(1, (3,))
+        assert msg.trace is None
+
+    def test_trace_key_elided_from_untraced_payload(self):
+        payload = message_to_payload(SubmitBatch(1, (3,)))
+        blob = encode(SubmitBatch(1, (3,)))
+        assert b'"trace"' not in blob
+        assert payload.get("trace", None) is None
+
+    @pytest.mark.parametrize("bad", [
+        ["aa", "bb"],              # wrong arity
+        "aabb",                    # not a list
+        [1, 2, 3],                 # ids must be hex strings
+        ["aa", "bb", "yes"],       # sampled must be bool/int
+    ])
+    def test_mistyped_trace_rejected(self, bad):
+        with pytest.raises(FrameError, match="'trace' must be"):
+            message_from_payload(
+                {"type": "submit", "id": 1, "pages": [3], "trace": bad})
+
+    def test_unknown_future_fields_are_ignored(self):
+        """Forward compatibility: a newer peer's extra keys must not
+        break this decoder, mirroring how v1 peers skip ``trace``."""
+        msg = message_from_payload(
+            {"type": "ping", "id": 1, "baggage": {"k": "v"}})
+        assert msg == Ping(1)
 
 
 @st.composite

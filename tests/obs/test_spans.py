@@ -71,6 +71,68 @@ class TestPhaseProfiler:
         s = SpanStats("x", 0, 0.0, 0.0)
         assert s.mean_ms == 0.0
 
+    def test_min_and_stddev_accumulate(self):
+        p = PhaseProfiler()
+        for d in (1.0, 3.0, 5.0):
+            p.record("x", d)
+        s = p.stats()["x"]
+        assert s.min_ms == pytest.approx(1000.0)
+        assert s.max_s == pytest.approx(5.0)
+        # Population stddev of {1, 3, 5} is sqrt(8/3).
+        assert s.stddev_ms == pytest.approx(1000.0 * (8.0 / 3.0) ** 0.5)
+
+    def test_constant_durations_have_zero_spread(self):
+        p = PhaseProfiler()
+        for _ in range(4):
+            p.record("x", 2.0)
+        s = p.stats()["x"]
+        assert s.min_ms == s.max_s * 1e3 == pytest.approx(2000.0)
+        assert s.stddev_ms == 0.0
+
+
+class TestSpanStats:
+    def test_positional_construction_still_works(self):
+        """Pre-existing callers build SpanStats(name, n, total, max)."""
+        s = SpanStats("x", 2, 3.0, 2.0)
+        assert s.min_s == 0.0 and s.sq_s == 0.0
+        assert s.stddev_ms >= 0.0
+
+    def test_merged_folds_all_fields(self):
+        a = SpanStats("x", 2, 3.0, 2.0, min_s=1.0, sq_s=5.0)
+        b = SpanStats("x", 1, 0.5, 0.5, min_s=0.5, sq_s=0.25)
+        m = a.merged(b)
+        assert (m.n, m.total_s, m.max_s) == (3, 3.5, 2.0)
+        assert m.min_s == 0.5
+        assert m.sq_s == pytest.approx(5.25)
+
+    def test_merged_is_associative(self):
+        """min/max/sums all fold associatively — the property that lets
+        per-shard profilers merge in any order."""
+        a = SpanStats("x", 2, 3.0, 2.0, min_s=1.0, sq_s=5.0)
+        b = SpanStats("x", 1, 0.5, 0.5, min_s=0.5, sq_s=0.25)
+        c = SpanStats("x", 3, 9.0, 4.0, min_s=2.0, sq_s=29.0)
+        assert a.merged(b).merged(c) == a.merged(b.merged(c))
+
+    def test_empty_is_merge_identity(self):
+        """A zero record's min_s=0.0 must not clobber a real minimum."""
+        empty = SpanStats("x", 0, 0.0, 0.0)
+        real = SpanStats("x", 2, 3.0, 2.0, min_s=1.0, sq_s=5.0)
+        assert empty.merged(real) == real
+        assert real.merged(empty) == real
+
+    def test_pooled_stddev_matches_direct_computation(self):
+        p1, p2 = PhaseProfiler(), PhaseProfiler()
+        for d in (1.0, 2.0):
+            p1.record("x", d)
+        for d in (3.0, 6.0):
+            p2.record("x", d)
+        merged = p1.stats()["x"].merged(p2.stats()["x"])
+        durations = [1.0, 2.0, 3.0, 6.0]
+        mean = sum(durations) / 4
+        var = sum((d - mean) ** 2 for d in durations) / 4
+        assert merged.stddev_ms == pytest.approx(1e3 * var ** 0.5)
+        assert merged.min_ms == pytest.approx(1000.0)
+
 
 class TestMergeSpanStats:
     def test_merges_and_sorts_by_name(self):

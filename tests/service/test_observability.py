@@ -255,5 +255,5 @@ class TestSnapshotSpans:
         svc.submit_batch(seq.pages, seq.levels)
         table = svc.snapshot().phase_table()
         assert table.columns == ["phase", "count", "total s", "mean ms",
-                                 "max ms"]
+                                 "min ms", "max ms", "stddev ms"]
         assert table.rows
