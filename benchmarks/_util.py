@@ -76,6 +76,34 @@ def _gate_keys(headline: dict) -> list[str]:
     return [k for k in headline if k.endswith("_gate_enforced")]
 
 
+def below_floor_lines(headline: dict) -> list[str]:
+    """``metric < floor`` violations, matched by naming convention.
+
+    A bench that publishes ``<prefix>_floor`` alongside numeric metrics
+    named ``<prefix>*`` declares a quality floor even on runs where the
+    enforcement gate is skipped (e.g. a scaling gate on a 1-core box).
+    Returns one ``"key=value < floor f"`` line per metric sitting below
+    its floor, so a skipped gate can never hide a miss silently.
+    """
+    lines: list[str] = []
+    for key, floor in sorted(headline.items()):
+        if not key.endswith("_floor"):
+            continue
+        if isinstance(floor, bool) or not isinstance(floor, (int, float)):
+            continue
+        prefix = key[: -len("_floor")]
+        for mkey, value in sorted(headline.items()):
+            if (mkey == key or mkey.endswith("_floor")
+                    or mkey.endswith("_gate_enforced")
+                    or not mkey.startswith(prefix)):
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if value < floor:
+                lines.append(f"{mkey}={value:.6g} < floor {floor:g}")
+    return lines
+
+
 def update_summary(name: str, payload: dict) -> None:
     """Merge one bench's headline into the repo-root ``BENCH_SUMMARY.json``.
 
@@ -100,6 +128,14 @@ def update_summary(name: str, payload: dict) -> None:
     if not isinstance(summary, dict):
         summary = {}
     headline = _headline(payload)
+    below = below_floor_lines(headline)
+    if below:
+        # A declared floor was missed on a run whose gate did not enforce
+        # it (an enforced gate would have failed the bench before emit);
+        # make that loudly visible in stdout and in the summary entry.
+        headline["below_floor"] = below
+        for line in below:
+            print(f"[{name}] GATE BELOW FLOOR (unenforced): {line}")
     gates = _gate_keys(headline)
     skipped = [k for k in gates if headline.get(k) is False]
     previous = summary.get(name)

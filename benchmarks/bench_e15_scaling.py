@@ -16,6 +16,11 @@ Asserted shape claims:
   the process backend serves >= 1.8x the thread backend's throughput.
   On smaller machines the sweep still runs and records, but the ratio
   is machine-dependent and not asserted.
+
+A fourth ``kernel`` cell per shard count runs the same sharded inline
+service with the columnar ``landlord-kernel`` policy: what one core buys
+from batch kernels before any parallelism.  Its cost joins the exact
+equality assertion; the speedup itself is gated in E18, not here.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ N_PAGES, K, STREAM_LEN = 1024, 256, 40_000
 BATCH = 512
 SHARD_COUNTS = [1, 2, 4]
 POLICY = "landlord-ref"  # O(k) victim scan per eviction: CPU-bound on purpose
+KERNEL_POLICY = "landlord-kernel"  # columnar batch kernel, same ledgers
 SPEEDUP_FLOOR = 1.8
 
 
@@ -51,17 +57,17 @@ def _workload():
     return inst, seq
 
 
-def _service(inst, n_shards, backend):
+def _service(inst, n_shards, backend, policy=POLICY):
     return PagingService(ServiceConfig(
-        instance=inst, policy_factory=policy_registry[POLICY],
+        instance=inst, policy_factory=policy_registry[policy],
         n_shards=n_shards, batch_size=BATCH, seed=0,
-        policy_name=POLICY, backend=backend,
+        policy_name=policy, backend=backend,
     ))
 
 
-def _run(inst, seq, n_shards, backend):
+def _run(inst, seq, n_shards, backend, policy=POLICY):
     """One sweep cell: (eviction cost, requests/s)."""
-    svc = _service(inst, n_shards, backend)
+    svc = _service(inst, n_shards, backend, policy)
     if backend == "inline":
         started = perf_counter()
         for lo in range(0, len(seq), BATCH):
@@ -96,21 +102,34 @@ def run_experiment() -> tuple[Table, dict]:
         for backend in ("inline", "thread", "process"):
             cost, rate = _run(inst, seq, n_shards, backend)
             cell[backend] = {"eviction_cost": cost, "throughput_req_s": rate}
+        # Same sharding, same ledgers, columnar batch kernel instead of
+        # the scalar serve loop — the kernel cell shows what one core
+        # buys before any parallelism (gated in E18, informational here).
+        k_cost, k_rate = _run(inst, seq, n_shards, "inline",
+                              policy=KERNEL_POLICY)
+        cell["kernel"] = {"eviction_cost": k_cost,
+                          "throughput_req_s": k_rate}
         speedup = (cell["process"]["throughput_req_s"]
                    / cell["thread"]["throughput_req_s"])
+        kernel_speedup = k_rate / cell["inline"]["throughput_req_s"]
         speedups[n_shards] = speedup
-        for backend in ("inline", "thread", "process"):
+        for backend in ("inline", "thread", "process", "kernel"):
             table.add_row(
                 n_shards, backend, cell[backend]["eviction_cost"],
                 int(cell[backend]["throughput_req_s"]),
-                f"{speedup:.2f}x" if backend == "process" else "-",
+                f"{speedup:.2f}x" if backend == "process"
+                else f"{kernel_speedup:.2f}x vs inline"
+                if backend == "kernel" else "-",
             )
-        runs[str(n_shards)] = {**cell, "process_vs_thread": speedup}
+        runs[str(n_shards)] = {**cell, "process_vs_thread": speedup,
+                               "kernel_vs_inline": kernel_speedup}
     extra = {
         "workload": {"n_pages": N_PAGES, "k": K, "requests": STREAM_LEN,
                      "batch_size": BATCH, "policy": POLICY},
         "usable_cores": cores,
         "speedup_at_max_shards": speedups[SHARD_COUNTS[-1]],
+        "kernel_vs_inline_at_max_shards":
+            runs[str(SHARD_COUNTS[-1])]["kernel_vs_inline"],
         # Record whether the >= SPEEDUP_FLOOR claim was actually enforced
         # on this machine, so an archived artifact is self-describing: a
         # reader never has to guess whether "1.1x" passed a gate or
@@ -133,13 +152,15 @@ def test_e15_backend_scaling(benchmark):
     emit(table, "e15_scaling", extra=extra)
     runs = extra["runs"]
     # Backend must be unobservable in the ledgers: exact cost equality.
+    # The kernel cell rides along — the columnar landlord-kernel must
+    # charge the exact cost of the scalar landlord-ref it replaces.
     for n_shards, cell in runs.items():
         costs = {backend: cell[backend]["eviction_cost"]
-                 for backend in ("inline", "thread", "process")}
+                 for backend in ("inline", "thread", "process", "kernel")}
         assert len(set(costs.values())) == 1, (
             f"{n_shards}-shard costs diverge across backends: {costs}"
         )
-        for backend in ("inline", "thread", "process"):
+        for backend in ("inline", "thread", "process", "kernel"):
             assert cell[backend]["throughput_req_s"] > 0
     # The parallelism claim needs actual cores to parallelize over.
     if extra["speedup_gate"]["enforced"]:

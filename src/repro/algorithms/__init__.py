@@ -5,6 +5,7 @@ Policy                    What it is
 ========================  =====================================================
 ``waterfilling``          Section 4.1 deterministic O(k) (reference impl)
 ``waterfilling-heap``     same algorithm, O(log k)-per-miss heap variant
+``waterfilling-kernel``   same algorithm, columnar numpy batch kernel
 ``randomized-weighted``   Algorithm 1 + fractional solver (weighted paging)
 ``randomized-multilevel`` Algorithm 2 + fractional solver (Theorem 1.2/1.5)
 ``lru`` / ``fifo`` /
@@ -12,6 +13,7 @@ Policy                    What it is
 / ``randomized-marking``  classical weight-oblivious baselines
 ``landlord``              k-competitive weighted baseline (O(log k) heap)
 ``landlord-ref``          same algorithm, O(k)-scan reference oracle
+``landlord-kernel``       same algorithm, columnar numpy batch kernel
 ``wb-lru``                dirty-oblivious LRU on a writeback cache
 ``wb-landlord``           dirty-aware Landlord heuristic
 ``rw[<inner>]``           any multi-level policy lifted to writeback caching
@@ -37,6 +39,10 @@ from repro.algorithms.fractional import (
     FractionalMultiLevelSolver,
     FractionalStep,
     FractionalTrajectory,
+)
+from repro.algorithms.kernels import (
+    KernelLandlordPolicy,
+    KernelWaterFillingPolicy,
 )
 from repro.algorithms.landlord import LandlordPolicy, LandlordRefPolicy
 from repro.algorithms.primal_dual import (
@@ -74,6 +80,8 @@ __all__ = [
     "RandomizedMarkingPolicy",
     "LandlordPolicy",
     "LandlordRefPolicy",
+    "KernelLandlordPolicy",
+    "KernelWaterFillingPolicy",
     "LFUPolicy",
     "ClockPolicy",
     "GDSFPolicy",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import heapq
 
 from repro.algorithms.base import Policy, register_policy
+from repro.errors import CacheInvariantError
 
 __all__ = ["WaterFillingPolicy", "HeapWaterFillingPolicy"]
 
@@ -118,13 +119,32 @@ class HeapWaterFillingPolicy(Policy):
         self._live[page] = self._counter
         heapq.heappush(self._heap, (key, self._counter, page))
         self._counter += 1
+        # Upgrades push fresh entries for already-live pages, so the
+        # stale tail would otherwise grow with the request count;
+        # compacting at 2x live bounds the heap at <= 2k+1 entries with
+        # O(1) amortized work per push and identical pop order.
+        if len(self._heap) > 2 * len(self._live):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries only (drop the stale tail)."""
+        live = self._live
+        self._heap = [e for e in self._heap if live.get(e[2]) == e[1]]
+        heapq.heapify(self._heap)
 
     def _pop_victim(self) -> tuple[float, int]:
-        while True:
-            key, seq, page = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            key, seq, page = heapq.heappop(heap)
             if self._live.get(page) == seq:
                 del self._live[page]
                 return key, page
+        cache = self.cache
+        raise CacheInvariantError(
+            f"policy {self.name!r}: eviction heap exhausted while the cache "
+            f"holds {len(cache)}/{cache.instance.cache_size} copies — "
+            "policy state is corrupt (e.g. a bad restore)"
+        )
 
     def serve(self, t: int, page: int, level: int) -> None:
         cache = self.cache

@@ -76,6 +76,8 @@ class ServiceLedger(CostLedger):
         super().charge_eviction(page, level, cost, reason)
         self.cost_by_level[level] = self.cost_by_level.get(level, 0.0) + cost
         self.evictions_by_level[level] = self.evictions_by_level.get(level, 0) + 1
+        if self._m_evictions is NULL_METRIC and self._m_cost is NULL_METRIC:
+            return  # no exposition sink: skip the per-level child lookups
         children = self._level_children.get(level)
         if children is None:
             lv = str(level)

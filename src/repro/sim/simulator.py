@@ -29,6 +29,9 @@ from repro.sim.metrics import RunResult
 
 __all__ = ["simulate", "simulate_writeback"]
 
+#: Chunk size for the kernel batch fast path in :func:`simulate`.
+_KERNEL_CHUNK = 4096
+
 
 def simulate(
     instance: MultiLevelInstance,
@@ -116,6 +119,7 @@ def simulate(
             check()
     else:
         hits = 0
+        serve_batch = getattr(policy, "serve_batch", None)
         if record_events:
             set_time = ledger.set_time
             for t, (page, level) in enumerate(zip(pages, levels)):
@@ -123,6 +127,14 @@ def simulate(
                 if serves(page, level):
                     hits += 1
                 serve(t, page, level)
+        elif serve_batch is not None:
+            # Columnar policies serve whole chunks from their numpy state;
+            # chunking (rather than one giant call) keeps the kernel's
+            # batch classification fresh against the evolving cache.
+            p_arr, l_arr = seq.pages, seq.levels
+            for lo in range(0, len(pages), _KERNEL_CHUNK):
+                hi = lo + _KERNEL_CHUNK
+                hits += serve_batch(lo, p_arr[lo:hi], l_arr[lo:hi])
         else:
             for t, (page, level) in enumerate(zip(pages, levels)):
                 if serves(page, level):

@@ -1,0 +1,194 @@
+"""The columnar kernels must be *exactly* their scalar twins, request by request.
+
+``landlord-kernel`` / ``waterfilling-kernel`` rearrange the policy state
+into numpy columns and serve whole batches, but every float they produce
+comes from the same additions in the same order as the scalar
+implementations (``weight + offset`` death keys, exact ``(death, seq)``
+argmin).  So the comparison here is ``==`` across three implementations
+per family — kernel, lazy-heap scalar, O(k)-scan reference — on costs,
+eviction event streams (page, level, cost, reason), final cache contents
+and hit counts.  Checkpoint pickling is exercised mid-stream: a restored
+kernel must continue byte-identically.
+"""
+
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    HeapWaterFillingPolicy,
+    KernelLandlordPolicy,
+    KernelWaterFillingPolicy,
+    LandlordPolicy,
+    LandlordRefPolicy,
+    WaterFillingPolicy,
+    policy_registry,
+)
+from repro.core.cache import MultiLevelCache
+from repro.core.instance import WeightedPagingInstance
+from repro.core.ledger import CostLedger
+from repro.sim import simulate
+from repro.workloads import (
+    multilevel_stream,
+    random_multilevel_instance,
+    sample_weights,
+    zipf_stream,
+)
+
+FAMILIES = [
+    (KernelLandlordPolicy, LandlordPolicy, LandlordRefPolicy),
+    (KernelWaterFillingPolicy, HeapWaterFillingPolicy, WaterFillingPolicy),
+]
+
+
+def _events(result):
+    return [(e.page, e.level, e.cost, e.reason) for e in result.events]
+
+
+def _random_case(rng, *, max_pages=40, max_len=400):
+    n = int(rng.integers(3, max_pages))
+    k = int(rng.integers(1, n))
+    levels = int(rng.integers(1, 5))
+    inst = random_multilevel_instance(n, k, levels, rng=rng)
+    seq = multilevel_stream(n, levels, int(rng.integers(50, max_len)),
+                            alpha=float(rng.uniform(0.3, 1.2)), rng=rng)
+    return inst, seq
+
+
+def assert_triple_equivalent(inst, seq, factories):
+    """Kernel vs heap vs scan under the verifying simulator: all ``==``."""
+    results = [simulate(inst, seq, factory(), record_events=True)
+               for factory in factories]
+    kernel = results[0]
+    for other in results[1:]:
+        assert other.cost == kernel.cost
+        assert _events(other) == _events(kernel)
+        assert other.final_cache == kernel.final_cache
+        assert other.n_hits == kernel.n_hits
+        assert other.n_evictions == kernel.n_evictions
+
+
+class TestKernelEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        inst, seq = _random_case(rng)
+        for factories in FAMILIES:
+            assert_triple_equivalent(inst, seq, factories)
+
+    def test_weighted_zipf(self):
+        inst = WeightedPagingInstance(8, sample_weights(40, rng=2, high=64.0))
+        seq = zipf_stream(40, 2000, alpha=0.8, rng=3)
+        for factories in FAMILIES:
+            assert_triple_equivalent(inst, seq, factories)
+
+    def test_tied_death_keys_break_identically(self):
+        # Uniform weights make every live death key equal: only the exact
+        # (death, seq) tie-break keeps the kernel's argmin on the scan's
+        # victim.  This is the case a float-tolerant kernel would fail.
+        inst = WeightedPagingInstance.uniform(10, 4)
+        seq = zipf_stream(10, 1500, alpha=0.5, rng=9)
+        for factories in FAMILIES:
+            assert_triple_equivalent(inst, seq, factories)
+
+    def test_registered(self):
+        assert policy_registry["landlord-kernel"] is KernelLandlordPolicy
+        assert policy_registry["waterfilling-kernel"] is KernelWaterFillingPolicy
+
+
+class TestServeBatchChunks:
+    """serve_batch over arbitrary chunkings == the scalar oracle's serve loop."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_chunk_sizes(self, seed):
+        rng = np.random.default_rng(seed)
+        inst, seq = _random_case(rng, max_pages=60, max_len=600)
+        for kernel_cls, _, oracle_cls in FAMILIES:
+            ledger = CostLedger(record_events=True)
+            kernel = kernel_cls()
+            kernel.bind(inst, MultiLevelCache(inst, ledger),
+                        np.random.default_rng(0))
+            hits, t = 0, 0
+            while t < len(seq):
+                chunk = int(rng.integers(1, 65))
+                hits += kernel.serve_batch(
+                    t, seq.pages[t:t + chunk], seq.levels[t:t + chunk])
+                t += chunk
+            oracle = simulate(inst, seq, oracle_cls(), record_events=True,
+                              validate=False)
+            assert ledger.eviction_cost == oracle.cost
+            assert [(e.page, e.level, e.cost, e.reason)
+                    for e in ledger.events] == _events(oracle)
+            assert dict(kernel.cache.items()) == oracle.final_cache
+            assert hits == oracle.n_hits
+
+    def test_empty_and_single_request_batches(self):
+        inst = WeightedPagingInstance(4, sample_weights(12, rng=0))
+        seq = zipf_stream(12, 64, alpha=0.9, rng=1)
+        for kernel_cls, _, oracle_cls in FAMILIES:
+            kernel = kernel_cls()
+            kernel.bind(inst, MultiLevelCache(inst, CostLedger()),
+                        np.random.default_rng(0))
+            hits = 0
+            assert kernel.serve_batch(0, seq.pages[:0], seq.levels[:0]) == 0
+            for t in range(len(seq)):
+                hits += kernel.serve_batch(
+                    t, seq.pages[t:t + 1], seq.levels[t:t + 1])
+            oracle = simulate(inst, seq, oracle_cls(), validate=False)
+            assert kernel.cache.ledger.eviction_cost == oracle.cost
+            assert hits == oracle.n_hits
+
+
+class TestKernelCheckpointEquivalence:
+    """Pickle round-trips mid-stream must not perturb a single decision."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_midstream_pickle_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        inst, seq = _random_case(rng, max_pages=50, max_len=600)
+        cut = len(seq) // 2
+        for kernel_cls, _, _ in FAMILIES:
+            ledger = CostLedger(record_events=True)
+            original = kernel_cls()
+            original.bind(inst, MultiLevelCache(inst, ledger),
+                          np.random.default_rng(0))
+            original.serve_batch(0, seq.pages[:cut], seq.levels[:cut])
+            restored = pickle.loads(pickle.dumps(original))
+            # The restoring engine re-points the shared instance and asks
+            # the policy to re-derive its weight views.
+            restored.instance = inst
+            restored.cache.instance = inst
+            restored.rebind_instance()
+            for policy in (original, restored):
+                policy.serve_batch(cut, seq.pages[cut:], seq.levels[cut:])
+            l1, l2 = original.cache.ledger, restored.cache.ledger
+            assert l2.eviction_cost == l1.eviction_cost
+            assert [(e.page, e.level, e.cost, e.reason)
+                    for e in l2.events] == [
+                        (e.page, e.level, e.cost, e.reason)
+                        for e in l1.events]
+            assert dict(restored.cache.items()) == dict(
+                original.cache.items())
+
+    def test_restored_kernel_matches_scan_oracle(self):
+        inst = WeightedPagingInstance(6, sample_weights(24, rng=4, high=32.0))
+        seq = zipf_stream(24, 600, rng=7)
+        cut = 300
+        for kernel_cls, _, oracle_cls in FAMILIES:
+            kernel = kernel_cls()
+            kernel.bind(inst, MultiLevelCache(inst, CostLedger()),
+                        np.random.default_rng(0))
+            kernel.serve_batch(0, seq.pages[:cut], seq.levels[:cut])
+            kernel = pickle.loads(pickle.dumps(kernel))
+            kernel.instance = inst
+            kernel.cache.instance = inst
+            kernel.rebind_instance()
+            kernel.serve_batch(cut, seq.pages[cut:], seq.levels[cut:])
+            oracle = simulate(inst, seq, oracle_cls(), validate=False)
+            assert kernel.cache.ledger.eviction_cost == oracle.cost
+            assert dict(kernel.cache.items()) == oracle.final_cache

@@ -1,0 +1,191 @@
+"""ShardEngine's kernel fast path: when it engages, and that it's invisible.
+
+``process_batch`` hands whole micro-batches to a columnar policy's
+``serve_batch`` only when neither validation nor active tracing needs the
+per-request loop.  The contract pinned here:
+
+* fast path and the ``validate=True`` scalar fallback produce identical
+  ledgers and cache contents,
+* an attached (sampled) tracer forces the scalar loop and yields traces
+  byte-identical to a scalar heap policy's run — the kernel must be
+  indistinguishable in the observability plane too,
+* inline / thread / process backends agree on the exact cost with kernel
+  policies, like every other policy,
+* checkpoint capture/restore round-trips the columnar state and refreshes
+  the engine's cached ``serve_batch`` binding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    HeapWaterFillingPolicy,
+    KernelLandlordPolicy,
+    KernelWaterFillingPolicy,
+    LandlordRefPolicy,
+    WaterFillingPolicy,
+)
+from repro.core.instance import WeightedPagingInstance
+from repro.service import PagingService, ServiceConfig, run_load
+from repro.service.engine import ShardEngine
+from repro.sim import simulate
+from repro.workloads import sample_weights, zipf_stream
+
+KERNELS = [KernelLandlordPolicy, KernelWaterFillingPolicy]
+
+
+def make_service(policy, n_shards=1, **kwargs):
+    inst = WeightedPagingInstance(8, sample_weights(32, rng=0, high=16.0))
+    return PagingService(ServiceConfig(
+        instance=inst, policy_factory=policy, n_shards=n_shards, **kwargs))
+
+
+def _workload(length=1500):
+    return zipf_stream(32, length, alpha=0.9, rng=2)
+
+
+class TestFastPathDispatch:
+    @pytest.mark.parametrize("policy", KERNELS)
+    def test_fast_path_engages_without_validation(self, policy):
+        svc = make_service(policy)
+        assert svc.engines[0]._serve_batch is not None
+        svc.stop()
+
+    def test_scalar_policies_have_no_fast_path(self):
+        svc = make_service(HeapWaterFillingPolicy)
+        assert svc.engines[0]._serve_batch is None
+        svc.stop()
+
+    @pytest.mark.parametrize("policy", KERNELS)
+    @pytest.mark.parametrize("batch", [1, 7, 256])
+    def test_fast_path_matches_validated_fallback(self, policy, batch):
+        seq = _workload()
+        ledgers = []
+        for validate in (False, True):
+            svc = make_service(policy, validate=validate)
+            for lo in range(0, len(seq), batch):
+                svc.submit_batch(seq.pages[lo:lo + batch],
+                                 seq.levels[lo:lo + batch])
+            engine = svc.engines[0]
+            ledgers.append((engine.ledger, dict(engine.cache.items())))
+            svc.stop()
+        (fast, fast_cache), (slow, slow_cache) = ledgers
+        assert fast.eviction_cost == slow.eviction_cost
+        assert fast.n_hits == slow.n_hits
+        assert fast.n_misses == slow.n_misses
+        assert fast.n_evictions == slow.n_evictions
+        assert fast_cache == slow_cache
+
+    @pytest.mark.parametrize("kernel,oracle", [
+        (KernelLandlordPolicy, LandlordRefPolicy),
+        (KernelWaterFillingPolicy, WaterFillingPolicy),
+    ])
+    def test_fast_path_matches_simulate_oracle(self, kernel, oracle):
+        inst = WeightedPagingInstance(8, sample_weights(32, rng=0, high=16.0))
+        seq = _workload()
+        ref = simulate(inst, seq, oracle(), seed=0)
+        svc = make_service(kernel)
+        for lo in range(0, len(seq), 128):
+            svc.submit_batch(seq.pages[lo:lo + 128],
+                             seq.levels[lo:lo + 128])
+        assert svc.total_cost() == ref.cost
+        ledger = svc.engines[0].ledger
+        assert ledger.n_hits == ref.n_hits
+        assert ledger.n_evictions == ref.n_evictions
+        svc.stop()
+
+
+class TestTracedFallback:
+    def test_traces_byte_identical_to_scalar_policy(self, tmp_path):
+        # An active tracer forces the scalar loop; the kernel's decisions
+        # — and therefore the sampled trace bytes — must match the lazy
+        # heap scalar exactly, shard by shard.
+        seq = _workload(3000)
+        paths = {}
+        for tag, policy in (("kernel", KernelWaterFillingPolicy),
+                            ("scalar", HeapWaterFillingPolicy)):
+            svc = make_service(policy, n_shards=2, batch_size=128)
+            paths[tag] = svc.enable_tracing(tmp_path / tag, sample=0.25,
+                                            seed=7)
+            with svc:
+                report = run_load(svc, seq, rate=1e9, max_retries=200,
+                                  retry_backoff=0.001)
+                assert svc.drain(30.0)
+            assert report.n_served == len(seq)
+        for kernel_path, scalar_path in zip(paths["kernel"],
+                                            paths["scalar"]):
+            assert kernel_path.read_bytes() == scalar_path.read_bytes()
+            assert kernel_path.stat().st_size > 0
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("policy", KERNELS)
+    def test_backends_agree_on_exact_cost(self, policy):
+        seq = _workload(4000)
+        costs = {}
+        for backend in ("inline", "thread", "process"):
+            svc = make_service(policy, n_shards=2, batch_size=128,
+                               backend=backend)
+            if backend == "inline":
+                for lo in range(0, len(seq), 128):
+                    svc.submit_batch(seq.pages[lo:lo + 128],
+                                     seq.levels[lo:lo + 128])
+                costs[backend] = svc.total_cost()
+                svc.stop()
+            else:
+                with svc:
+                    run_load(svc, seq, rate=1e9, max_retries=200,
+                             retry_backoff=0.001)
+                    assert svc.drain(30.0)
+                    costs[backend] = svc.total_cost()
+        assert len(set(costs.values())) == 1, costs
+
+
+class TestKernelCheckpoint:
+    @pytest.mark.parametrize("policy_cls", KERNELS)
+    def test_capture_restore_roundtrip_continues_identically(self, policy_cls):
+        inst = WeightedPagingInstance(8, sample_weights(32, rng=0, high=16.0))
+        seq = _workload(2000)
+        cut = 1024
+
+        def engine(policy):
+            return ShardEngine(0, inst, policy, np.random.default_rng(0))
+
+        source = engine(policy_cls())
+        for lo in range(0, cut, 128):
+            source.process_batch(seq.pages[lo:lo + 128],
+                                 seq.levels[lo:lo + 128])
+        payload, mark, t = source.capture_state()
+        assert t == cut
+
+        target = engine(policy_cls())
+        target.restore_from(payload, mark)
+        assert target.n_requests == cut
+        # The cached fast-path binding must survive the restore.
+        assert target._serve_batch is not None
+        assert target._serve_batch.__self__ is target.policy
+        # The restored policy shares the engine's live instance arrays.
+        assert target.policy.instance is inst
+
+        for eng in (source, target):
+            for lo in range(cut, len(seq), 128):
+                eng.process_batch(seq.pages[lo:lo + 128],
+                                  seq.levels[lo:lo + 128])
+        assert target.ledger.eviction_cost == source.ledger.eviction_cost
+        assert target.ledger.n_hits == source.ledger.n_hits
+        assert dict(target.cache.items()) == dict(source.cache.items())
+
+    @pytest.mark.parametrize("policy_cls", KERNELS)
+    def test_checkpointed_service_run_matches_clean(self, policy_cls):
+        seq = _workload(3000)
+        clean = make_service(policy_cls, n_shards=2, batch_size=128)
+        clean.submit_batch(seq.pages, seq.levels)
+
+        svc = make_service(policy_cls, n_shards=2, batch_size=128,
+                           checkpoint_interval=400)
+        with svc:
+            report = run_load(svc, seq, rate=1e9, max_retries=200,
+                              retry_backoff=0.001)
+            assert svc.drain(30.0)
+        assert report.n_served == len(seq)
+        assert svc.total_cost() == clean.total_cost()
