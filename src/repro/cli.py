@@ -30,6 +30,12 @@ Commands
 ``top``      live cluster status polled from a (federated) ``/metrics``
              endpoint: per-backend request rates, tail latency, queue
              depth, map epoch and in-flight migrations.
+``replay``   re-serve an experience file recorded with
+             ``serve/loadgen --record`` (:mod:`repro.control`): ``run``
+             reproduces the live cost ``==``-exactly (or replays an
+             alternative policy / cache size), ``compare`` tabulates
+             several policies against the live run, ``stats``
+             summarizes the recorded traffic.
 
 Examples
 --------
@@ -67,6 +73,14 @@ Examples
     python -m repro cluster migrate --proxy 127.0.0.1:7500 \
         --shard 2 --to 127.0.0.1:7412
     python -m repro cluster rebalance --proxy 127.0.0.1:7500
+    python -m repro cluster drain 127.0.0.1:7412 --proxy 127.0.0.1:7500
+    python -m repro serve --listen 127.0.0.1:7411 --controller \
+        --metrics-port 9100
+    python -m repro loadgen --connect 127.0.0.1:7411 --profile diurnal \
+        --profile-period 5 --rate 80000 --on-overload shed
+    python -m repro loadgen --record run.npz --rate 50000
+    python -m repro replay run run.npz
+    python -m repro replay compare run.npz --policies lru,landlord
 """
 
 from __future__ import annotations
@@ -227,6 +241,21 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stop-timeout", type=float, default=10.0,
                        metavar="S",
                        help="single shared deadline for the shutdown drain")
+    serve.add_argument("--controller", action="store_true",
+                       help="close the admission loop (--listen only): "
+                            "live-adjust the in-flight window and the soft "
+                            "queue limit from the pressure signals")
+    serve.add_argument("--ctl-interval", type=float, default=0.25,
+                       metavar="S", help="controller poll interval")
+    serve.add_argument("--ctl-high", type=float, default=0.75,
+                       metavar="FRAC",
+                       help="pressure above this tightens admission")
+    serve.add_argument("--ctl-low", type=float, default=0.30,
+                       metavar="FRAC",
+                       help="pressure below this relaxes admission")
+    serve.add_argument("--ctl-dwell", type=float, default=2.0, metavar="S",
+                       help="min seconds between direction reversals "
+                            "(hysteresis; prevents flapping)")
 
     loadgen = sub.add_parser(
         "loadgen", help="rate-paced load generation against the service"
@@ -234,6 +263,21 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_service_args(loadgen)
     loadgen.add_argument("--rate", type=float, default=100_000.0,
                          help="target request rate (req/s)")
+    loadgen.add_argument("--profile",
+                         choices=("constant", "diurnal", "burst", "step"),
+                         default="constant",
+                         help="rate shape over time: constant, a smooth "
+                              "diurnal cosine, seeded bursts, or a square "
+                              "step wave (--rate is the peak)")
+    loadgen.add_argument("--profile-period", type=float, default=10.0,
+                         metavar="S", help="profile period in seconds")
+    loadgen.add_argument("--profile-low", type=float, default=0.1,
+                         metavar="FRAC",
+                         help="trough rate as a fraction of --rate")
+    loadgen.add_argument("--profile-duty", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="high-rate fraction of each period "
+                              "(burst/step profiles)")
     loadgen.add_argument("--max-retries", "--retry", dest="max_retries",
                          type=int, default=3, metavar="N",
                          help="retries before an overloaded batch is dropped")
@@ -313,6 +357,8 @@ def _build_parser() -> argparse.ArgumentParser:
         ("migrate", "live-migrate one shard to a named backend"),
         ("rebalance", "migrate shards until every backend is within one "
                       "shard of even"),
+        ("drain", "live-migrate every shard off one backend so it can be "
+                  "retired"),
     ):
         sub_parser = cluster_sub.add_parser(name, help=extra)
         sub_parser.add_argument("--proxy", required=True, metavar="HOST:PORT",
@@ -331,6 +377,52 @@ def _build_parser() -> argparse.ArgumentParser:
                                     help="plan toward this backend set "
                                          "(default: the backends already in "
                                          "the map)")
+        if name == "drain":
+            sub_parser.add_argument("backend", metavar="ADDR",
+                                    help="backend host:port to empty (the "
+                                         "shards spread over the remaining "
+                                         "backends)")
+
+    replay_cmd = sub.add_parser(
+        "replay", help="re-serve a recorded experience file "
+                       "(`serve/loadgen --record`) under alternative "
+                       "policies or configurations"
+    )
+    replay_sub = replay_cmd.add_subparsers(dest="replay_command",
+                                           required=True)
+    rrun = replay_sub.add_parser(
+        "run", help="replay once; with no overrides the cost must "
+                    "==-match the recorded live run"
+    )
+    rrun.add_argument("path", help="experience file (.npz or .jsonl)")
+    rrun.add_argument("--policy", default=None,
+                      help="alternative policy (default: the recorded one)")
+    rrun.add_argument("--k", "--cache-size", dest="cache_size", type=int,
+                      default=None, help="alternative total cache capacity")
+    rrun.add_argument("--rate", type=float, default=None,
+                      help="also pace the replay through a full threaded "
+                           "service at this req/s (reports latency/shed)")
+    rrun.add_argument("--on-overload", choices=("retry", "shed"),
+                      default="retry", help="paced-mode overload policy")
+    rcompare = replay_sub.add_parser(
+        "compare", help="replay under several policies and tabulate "
+                        "against the live run"
+    )
+    rcompare.add_argument("path", help="experience file (.npz or .jsonl)")
+    rcompare.add_argument("--policies", required=True,
+                          metavar="NAME,NAME,...",
+                          help="comma-separated policy names to replay")
+    rcompare.add_argument("--k", "--cache-size", dest="cache_size", type=int,
+                          default=None,
+                          help="alternative total cache capacity")
+    rcompare.add_argument("--rate", type=float, default=None,
+                          help="pace each replay at this req/s")
+    rcompare.add_argument("--on-overload", choices=("retry", "shed"),
+                          default="retry", help="paced-mode overload policy")
+    rstats = replay_sub.add_parser(
+        "stats", help="summarize a recorded experience file"
+    )
+    rstats.add_argument("path", help="experience file (.npz or .jsonl)")
 
     top = sub.add_parser(
         "top", help="live cluster status from a (federated) /metrics page"
@@ -401,6 +493,11 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-restarts", type=int, default=3, metavar="N",
                         help="per-shard worker restart budget before the "
                              "shard is marked failed")
+    parser.add_argument("--record", default=None, metavar="PATH",
+                        help="record every served request (per shard, in "
+                             "serve order) plus the exact config and final "
+                             "ledger to PATH (.npz or .jsonl) for "
+                             "`repro replay`")
 
 
 def _make_workload(args) -> tuple[MultiLevelInstance, object]:
@@ -645,7 +742,12 @@ def _make_service(args):
     from repro.service import PagingService, ServiceConfig
 
     inst, seq = _make_workload(args)
-    registry = MetricsRegistry() if args.metrics_port is not None else None
+    # --controller needs live signals even without an exposed /metrics
+    # port, so it forces a real registry too.
+    registry = (MetricsRegistry()
+                if (args.metrics_port is not None
+                    or getattr(args, "controller", False))
+                else None)
     try:
         fault_plan = None
         if args.faults is not None:
@@ -702,6 +804,65 @@ def _start_metrics_server(args, service):
     server = MetricsServer(service.registry, port=args.metrics_port).start()
     print(f"metrics exposed at {server.url}")
     return server
+
+
+def _make_profile(args):
+    """Build the loadgen :class:`~repro.service.RateProfile` (or None)."""
+    if getattr(args, "profile", "constant") == "constant":
+        return None
+    from repro.service import RateProfile
+
+    return RateProfile(kind=args.profile, rate=args.rate,
+                       period_s=args.profile_period,
+                       low_frac=args.profile_low, duty=args.profile_duty,
+                       seed=args.master_seed)
+
+
+def _attach_recorder(args, service):
+    """``--record``: attach an experience recorder before any traffic."""
+    if getattr(args, "record", None) is None:
+        return None
+    from repro.control import ExperienceRecorder
+
+    recorder = ExperienceRecorder(service.config.n_shards)
+    service.attach_recorder(recorder)
+    print(f"recording served traffic into {args.record}")
+    return recorder
+
+
+def _save_experience(args, recorder, service) -> None:
+    """Freeze + write the recording (call after the final drain)."""
+    if recorder is None:
+        return
+    path = recorder.save(args.record, service)
+    print(f"experience written to {path} "
+          f"({recorder.n_requests} requests, "
+          f"{service.config.n_shards} shard(s))")
+
+
+def _start_controller(args, service, net):
+    """``serve --listen --controller``: close the admission loop."""
+    from repro.control import Actuator, AdmissionController, ControllerConfig
+    from repro.obs import SignalReader
+
+    config = ControllerConfig(interval_s=args.ctl_interval,
+                              high_water=args.ctl_high,
+                              low_water=args.ctl_low,
+                              dwell_s=args.ctl_dwell)
+    actuators = [
+        Actuator("inflight", lo=max(1, args.inflight // 8),
+                 hi=args.inflight, apply=net.set_max_inflight),
+        Actuator("queue", lo=max(1, args.queue_depth // 8),
+                 hi=args.queue_depth, apply=service.set_queue_limit),
+    ]
+    controller = AdmissionController(
+        SignalReader(service.registry), actuators, config=config,
+        registry=service.registry).start()
+    print(f"controller: polling every {config.interval_s:g}s, "
+          f"band [{config.low_water:g}, {config.high_water:g}], "
+          f"dwell {config.dwell_s:g}s, actuators "
+          f"{controller.setpoints()}", flush=True)
+    return controller
 
 
 def _install_flight_dump_signal() -> None:
@@ -771,6 +932,7 @@ def _cmd_serve(args) -> int:
     if service is None:
         return 2
     metrics_server = _start_metrics_server(args, service)
+    recorder = _attach_recorder(args, service)
     b = args.batch_size
     print(f"serving {len(seq)} requests through {service!r}\n")
     started = perf_counter()
@@ -800,6 +962,7 @@ def _cmd_serve(args) -> int:
             service.drain(args.stop_timeout if stop.requested else None)
             elapsed = perf_counter() - started
             snap = service.snapshot()
+            _save_experience(args, recorder, service)
     finally:
         if metrics_server is not None:
             metrics_server.stop()
@@ -853,6 +1016,8 @@ def _cmd_serve_net(args) -> int:
         net_spans = SpanExporter(Path(args.span_dir) / "net.spans.jsonl",
                                  wall=True)
     net = None
+    controller = None
+    recorder = _attach_recorder(args, service)
     try:
         with _SignalStop() as stop:
             _install_flight_dump_signal()
@@ -870,10 +1035,14 @@ def _cmd_serve_net(args) -> int:
             print(f"admission: {admission.max_connections} connections, "
                   f"{admission.max_inflight} in-flight each, "
                   f"{admission.request_deadline_s:g}s deadline", flush=True)
+            if args.controller:
+                controller = _start_controller(args, service, net)
             stop.event.wait()
         print(f"signal received: closing listener, draining service "
               f"(timeout {args.stop_timeout:g}s)")
     finally:
+        if controller is not None:
+            controller.stop()
         if net is not None:
             net.stop()
         service.stop(args.stop_timeout)
@@ -881,6 +1050,10 @@ def _cmd_serve_net(args) -> int:
             net_spans.close()
         if metrics_server is not None:
             metrics_server.stop()
+    if controller is not None:
+        print(f"controller: {controller.n_moves} move(s), final setpoints "
+              f"{controller.setpoints()}")
+    _save_experience(args, recorder, service)
     print(service.snapshot().render())
     return 0
 
@@ -895,9 +1068,11 @@ def _cmd_loadgen_net(args) -> int:
         print(f"loadgen: {exc}", file=sys.stderr)
         return 2
     _, seq = _make_workload(args)
+    profile = _make_profile(args)
     print(f"load: {len(seq)} requests at {args.rate:,.0f} req/s over "
           f"{args.connections} connection(s) to {args.connect} "
-          f"(window {args.window}, on_overload={args.on_overload})\n")
+          f"(window {args.window}, on_overload={args.on_overload}"
+          + (f", profile {profile}" if profile is not None else "") + ")\n")
     if args.span_dir is not None:
         print(f"request spans: client.spans.jsonl into {args.span_dir} "
               f"(sample={args.trace_sample:g})")
@@ -915,6 +1090,7 @@ def _cmd_loadgen_net(args) -> int:
             trace_sample=args.trace_sample if args.span_dir else 0.0,
             trace_seed=args.master_seed,
             span_dir=args.span_dir,
+            profile=profile,
         )
     except (OSError, RemoteError) as exc:
         print(f"network load failed: {exc}", file=sys.stderr)
@@ -932,16 +1108,22 @@ def _cmd_loadgen(args) -> int:
     if service is None:
         return 2
     metrics_server = _start_metrics_server(args, service)
+    recorder = _attach_recorder(args, service)
+    profile = _make_profile(args)
     print(f"load: {len(seq)} requests at {args.rate:,.0f} req/s "
-          f"against {service!r}\n")
+          f"against {service!r}"
+          + (f" (profile {profile})" if profile is not None else "")
+          + "\n")
     try:
         with service:
             report = run_load(service, seq, rate=args.rate,
                               batch_size=args.batch_size,
                               max_retries=args.max_retries,
                               retry_backoff=args.retry_backoff,
-                              on_overload=args.on_overload)
+                              on_overload=args.on_overload,
+                              profile=profile)
             snap = service.snapshot()
+            _save_experience(args, recorder, service)
     finally:
         if metrics_server is not None:
             metrics_server.stop()
@@ -1101,6 +1283,32 @@ def _cmd_cluster_control(args) -> int:
                 if reply.ok:
                     print(f"epoch now {reply.epoch}")
                 return 0 if reply.ok else 1
+            if args.cluster_command == "drain":
+                # Same deterministic plan drain_backend() follows: the
+                # shrunk pool's rebalance moves, restricted to the
+                # drained backend's shards.
+                cmap = ClusterMap.from_dict(client.cluster_status())
+                if args.backend not in cmap.backends:
+                    print(f"backend {args.backend!r} not in cluster "
+                          f"{list(cmap.backends)}", file=sys.stderr)
+                    return 2
+                remaining = [b for b in cmap.backends if b != args.backend]
+                if not remaining:
+                    print(f"cannot drain {args.backend!r}: it is the last "
+                          f"backend", file=sys.stderr)
+                    return 2
+                moves = [(s, src, t)
+                         for s, src, t in cmap.rebalance_moves(remaining)
+                         if src == args.backend]
+                for shard, _source, target in moves:
+                    reply = client.move_shard(shard, target,
+                                              timeout=args.timeout)
+                    print(reply.detail)
+                    if not reply.ok:
+                        return 1
+                print(f"drained {len(moves)} shard(s) off {args.backend}")
+                print(_render_cluster_status(client.cluster_status()))
+                return 0
             # rebalance: plan locally from the live map, apply move by move.
             status = client.cluster_status()
             cmap = ClusterMap.from_dict(status)
@@ -1128,6 +1336,73 @@ def _cmd_cluster(args) -> int:
     if args.cluster_command == "proxy":
         return _cmd_cluster_proxy(args)
     return _cmd_cluster_control(args)
+
+
+def _cmd_replay(args) -> int:
+    """``replay run|compare|stats`` over an experience file."""
+    from repro.control import Experience, ReplayEngine
+    from repro.errors import ServiceConfigError
+
+    try:
+        experience = Experience.load(args.path)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    engine = ReplayEngine(experience)
+    live = experience.meta.get("live", {})
+    if args.replay_command == "stats":
+        stats = experience.stats()
+        table = Table(["shard", "requests"],
+                      title=f"experience: {args.path}")
+        for shard, count in enumerate(stats["per_shard"]):
+            table.add_row(shard, count)
+        print(table.render())
+        levels = ", ".join(f"L{lv}:{n}"
+                           for lv, n in stats["level_counts"].items())
+        print(f"{stats['n_requests']} requests, "
+              f"{stats['unique_pages']} unique pages, levels {levels}")
+        meta = experience.meta
+        print(f"recorded: policy={meta['policy']} k={meta['cache_size']} "
+              f"shards={meta['n_shards']} seed={meta['seed']} "
+              f"live cost={live.get('eviction_cost', 0.0):.1f}")
+        return 0
+    try:
+        if args.replay_command == "compare":
+            names = [p.strip() for p in args.policies.split(",")
+                     if p.strip()]
+            print(engine.compare(names, cache_size=args.cache_size,
+                                 rate=args.rate,
+                                 on_overload=args.on_overload).render())
+            return 0
+        result = engine.run(policy=args.policy, cache_size=args.cache_size,
+                            rate=args.rate, on_overload=args.on_overload)
+    except ServiceConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    table = Table(["config", "cost", "hits", "misses", "evictions"],
+                  title=f"replay of {args.path}")
+    table.add_row(f"live ({experience.meta['policy']})",
+                  live.get("eviction_cost", 0.0),
+                  live.get("n_hits", 0), live.get("n_misses", 0),
+                  live.get("n_evictions", 0))
+    table.add_row(f"{result.policy} (k={result.cache_size})",
+                  result.eviction_cost, result.n_hits, result.n_misses,
+                  result.n_evictions)
+    print(table.render())
+    if result.report is not None:
+        print(result.report.render())
+    baseline = args.policy is None and args.cache_size is None
+    if baseline:
+        if engine.matches_live(result):
+            print("replay cost == live cost (exact)")
+            return 0
+        print("REPLAY MISMATCH: replayed "
+              f"{result.eviction_cost!r} != live "
+              f"{live.get('eviction_cost')!r}", file=sys.stderr)
+        return 1
+    delta = result.eviction_cost - float(live.get("eviction_cost", 0.0))
+    print(f"cost vs live: {delta:+.1f}")
+    return 0
 
 
 def _top_value(families: dict, family: str, **labels) -> float:
@@ -1291,6 +1566,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "top":
         return _cmd_top(args)
     if args.command == "report":

@@ -1,0 +1,55 @@
+"""repro.control — the closed-loop control plane.
+
+Three pieces sit on top of the serving and observability stacks:
+
+* **Admission controller** (:mod:`repro.control.controller`) — polls
+  :class:`~repro.obs.SignalReader` pressure and live-adjusts the net
+  in-flight window and the service's soft queue limit through a banded,
+  dwell-gated :class:`HysteresisGovernor` (AIMD moves, provably at most
+  one direction flip per dwell window).  Every decision lands in the
+  metrics plane (``repro_ctl_pressure``, ``repro_ctl_setpoint``,
+  ``repro_ctl_moves_total``), so ``repro top`` shows the loop acting.
+* **Autoscaler** (:mod:`repro.control.autoscale`) — the capacity half
+  of the same loop: spawn a fresh ``repro serve`` backend and rebalance
+  shards onto it on sustained overload, drain and retire it when load
+  falls.  Every scale event is a sequence of live migrations, so the
+  merged cluster ledger stays ``==``-equal to the single-node run.
+* **Experience replay** (:mod:`repro.control.experience`) —
+  :class:`ExperienceRecorder` captures served traffic per shard;
+  :class:`ReplayEngine` re-serves it under alternative policies or
+  configurations and diffs cost / latency / shed rate.  Replaying the
+  recorded configuration reproduces the live eviction cost
+  ``==``-exactly.
+
+CLI entry points: ``repro serve --listen --controller``,
+``repro serve --record``, ``repro replay run|compare|stats``,
+``repro cluster drain``.
+"""
+
+from repro.control.autoscale import Autoscaler, SubprocessSpawner, drain_backend
+from repro.control.controller import (
+    Actuator,
+    AdmissionController,
+    ControllerConfig,
+    HysteresisGovernor,
+)
+from repro.control.experience import (
+    Experience,
+    ExperienceRecorder,
+    ReplayEngine,
+    ReplayResult,
+)
+
+__all__ = [
+    "Actuator",
+    "AdmissionController",
+    "Autoscaler",
+    "ControllerConfig",
+    "Experience",
+    "ExperienceRecorder",
+    "HysteresisGovernor",
+    "ReplayEngine",
+    "ReplayResult",
+    "SubprocessSpawner",
+    "drain_backend",
+]

@@ -33,6 +33,7 @@ from repro.core.requests import RequestSequence
 from repro.net.client import NetSubmitResult, PagingClient
 from repro.obs.rtrace import RequestSampler, SpanExporter
 from repro.service.loadgen import LoadReport, summarize_latencies
+from repro.service.profiles import RateProfile
 
 __all__ = ["run_network_load"]
 
@@ -170,6 +171,7 @@ def run_network_load(
     trace_sample: float = 0.0,
     trace_seed: int = 0,
     span_dir: str | Path | None = None,
+    profile: RateProfile | None = None,
 ) -> LoadReport:
     """Replay ``seq`` against a remote server at ``rate`` requests/second.
 
@@ -186,7 +188,9 @@ def run_network_load(
     sampler), and ``client.spans.jsonl`` in that directory records one
     ``client:submit`` span per sampled batch.  ``span_dir`` with
     ``trace_sample=0.0`` still *propagates* contexts on the wire without
-    recording any — the configuration the trace-overhead benchmark
+    recording any.  ``profile`` swaps the flat pacing for a
+    :class:`~repro.service.profiles.RateProfile`'s due offsets, exactly
+    as in the inline generator — the configuration the trace-overhead benchmark
     measures.
     """
     if rate <= 0:
@@ -205,6 +209,11 @@ def run_network_load(
             f"trace_sample must be in [0, 1], got {trace_sample}")
     pages, levels = seq.pages, seq.levels
     n = len(seq)
+    target = float(rate)
+    offsets = None
+    if profile is not None:
+        offsets = profile.due_offsets(-(-n // batch_size), batch_size)
+        target = profile.mean_rate(n, batch_size)
     # Deal batches round-robin by global index; each keeps its *global*
     # open-loop due offset so C connections still offer ``rate`` req/s,
     # and its global index ``i`` doubles as the tracing sampler's clock.
@@ -213,7 +222,7 @@ def run_network_load(
     ]
     for i, lo in enumerate(range(0, n, batch_size)):
         slices[i % connections].append(
-            (lo / rate, i,
+            (lo / rate if offsets is None else float(offsets[i]), i,
              pages[lo:lo + batch_size], levels[lo:lo + batch_size])
         )
     sampler: RequestSampler | None = None
@@ -260,7 +269,7 @@ def run_network_load(
     n_batches = sum(s.n_batches for s in stats)
     p50, p95, p99 = summarize_latencies(latencies)
     return LoadReport(
-        target_rate=float(rate),
+        target_rate=target,
         achieved_rate=n_served / duration if duration > 0 else 0.0,
         duration_s=duration,
         n_requests=n,

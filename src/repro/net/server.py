@@ -168,6 +168,10 @@ class NetServer:
         self._m_latency = reg.histogram(
             "repro_net_request_seconds",
             "Server-side submit latency (admission to response)")
+        self._m_window_cap = reg.gauge(
+            "repro_net_max_inflight",
+            "Per-connection in-flight window cap (runtime-adjustable)")
+        self._m_window_cap.set(self.admission.max_inflight)
         self._gate = ConnectionGate(self.admission.max_connections)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -177,6 +181,7 @@ class NetServer:
         self._server: asyncio.base_events.Server | None = None
         self._port: int | None = None
         self._conn_seq = 0
+        self._conns: set[_Connection] = set()
         self._tasks: set[asyncio.Task] = set()
         self._executor = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="repro-net-drain")
@@ -228,6 +233,48 @@ class NetServer:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # -- runtime admission actuators ---------------------------------------
+    def set_max_inflight(self, cap: int) -> None:
+        """Live-adjust the per-connection in-flight window cap.
+
+        The control plane's net-side actuator: swaps the (frozen)
+        :class:`AdmissionPolicy` for new connections and resizes every
+        live connection's window on the event loop.  Shrinking does not
+        retro-shed entries already in flight — the next ``admit`` past
+        the new cap sheds oldest-first, exactly the steady-state rule.
+        Thread-safe; callable before ``start()`` and while serving.
+        """
+        from dataclasses import replace
+
+        cap = int(cap)
+        if cap < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {cap}")
+        self.admission = replace(self.admission, max_inflight=cap)
+        self._m_window_cap.set(cap)
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._apply_window_cap, cap)
+
+    def _apply_window_cap(self, cap: int) -> None:
+        for conn in self._conns:
+            conn.window.cap = cap
+
+    def set_request_deadline(self, deadline_s: float) -> None:
+        """Live-adjust the server-side submit deadline (thread-safe).
+
+        Takes effect per request: the deadline is read when a submit's
+        ticket await starts, so in-flight waits keep the deadline they
+        were admitted under.
+        """
+        from dataclasses import replace
+
+        if deadline_s <= 0:
+            raise ValueError(
+                f"request_deadline_s must be > 0, got {deadline_s}")
+        self.admission = replace(self.admission,
+                                 request_deadline_s=float(deadline_s))
 
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
@@ -287,6 +334,7 @@ class NetServer:
         conn = _Connection(self._conn_seq, writer,
                            InflightWindow(self.admission.max_inflight))
         self._conn_seq += 1
+        self._conns.add(conn)
         decoder = FrameDecoder(max_frame_bytes=self.admission.max_frame_bytes)
         try:
             while True:
@@ -310,6 +358,7 @@ class NetServer:
             pass
         finally:
             conn.open = False
+            self._conns.discard(conn)
             for entry in conn.window.drain():
                 if not entry.responded:
                     entry.responded = True

@@ -70,6 +70,7 @@ from repro.obs.rtrace import (
     set_flight_dump_dir,
     stitch_spans,
 )
+from repro.obs.signals import ControlSignals, SignalReader
 from repro.obs.spans import PhaseProfiler, SpanStats, merge_span_stats
 from repro.obs.tracer import (
     TRACE_SCHEMA,
@@ -112,6 +113,8 @@ __all__ = [
     "FederationServer",
     "federate",
     "parse_exposition",
+    "ControlSignals",
+    "SignalReader",
     "TRACE_SCHEMA",
     "TRACE_VERSION",
     "DecisionTracer",

@@ -67,10 +67,13 @@ from repro.service.metrics import (
     ServiceSnapshot,
     ShardSnapshot,
 )
+from repro.service.profiles import PROFILE_KINDS, RateProfile
 from repro.service.router import ShardRouter
 from repro.service.server import PagingService
 
 __all__ = [
+    "PROFILE_KINDS",
+    "RateProfile",
     "ServiceConfig",
     "ShardEngine",
     "BatchTicket",

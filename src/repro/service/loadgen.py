@@ -40,6 +40,7 @@ import numpy as np
 from repro.analysis.tables import Table
 from repro.core.requests import RequestSequence
 from repro.service.ingest import BatchTicket
+from repro.service.profiles import RateProfile
 from repro.service.server import PagingService
 
 __all__ = ["LoadReport", "run_load", "summarize_latencies"]
@@ -114,6 +115,7 @@ def run_load(
     retry_backoff: float = 0.001,
     on_overload: str = "retry",
     drain_timeout: float | None = 30.0,
+    profile: RateProfile | None = None,
 ) -> LoadReport:
     """Replay ``seq`` against ``service`` at ``rate`` requests/second.
 
@@ -126,6 +128,11 @@ def run_load(
     service before reporting, so counters in a subsequent
     :meth:`~repro.service.server.PagingService.snapshot` cover every
     accepted request.
+
+    With a :class:`~repro.service.profiles.RateProfile` the flat pacing
+    is replaced by the profile's precomputed due offsets (``rate`` is
+    ignored; the report's ``target_rate`` becomes the profile's mean
+    offered rate).
     """
     if rate <= 0:
         raise ValueError(f"rate must be > 0, got {rate}")
@@ -138,13 +145,18 @@ def run_load(
     b = batch_size if batch_size is not None else service.config.batch_size
     pages, levels = seq.pages, seq.levels
     n = len(seq)
+    offsets = None
+    target = float(rate)
+    if profile is not None:
+        offsets = profile.due_offsets(-(-n // b), b)
+        target = profile.mean_rate(n, b)
     tickets: list[BatchTicket] = []
     n_overloaded = 0
     n_dropped = 0
     retries_budget = 0 if on_overload == "shed" else max_retries
     started = perf_counter()
-    for lo in range(0, n, b):
-        due = started + lo / rate
+    for i, lo in enumerate(range(0, n, b)):
+        due = started + (lo / rate if offsets is None else offsets[i])
         now = perf_counter()
         if now < due:
             sleep(due - now)
@@ -175,7 +187,7 @@ def run_load(
         [t.latency for t in tickets if t.ok and t.latency is not None]
     )
     return LoadReport(
-        target_rate=float(rate),
+        target_rate=target,
         achieved_rate=n_served / duration if duration > 0 else 0.0,
         duration_s=duration,
         n_requests=n,

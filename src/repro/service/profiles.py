@@ -1,0 +1,126 @@
+"""Time-varying request-rate profiles for the load generators.
+
+The open-loop generators pace batch ``i`` to a precomputed *due offset*
+from the run's start.  A :class:`RateProfile` supplies those offsets for
+non-constant load shapes — the controller and autoscaler benches need
+traffic that actually changes over time:
+
+* ``constant`` — the flat pacing the generators always had.
+* ``diurnal``  — a raised cosine between ``low_frac * rate`` and
+  ``rate`` with period ``period_s`` (a compressed day/night cycle).
+* ``burst``    — quiet at ``low_frac * rate`` with one burst window of
+  length ``duty * period_s`` per period at full ``rate``; the window's
+  position inside each period is drawn from ``seed`` so bursts are
+  deterministic yet not phase-locked.
+* ``step``     — a square wave: full ``rate`` for the first
+  ``duty * period_s`` of every period, ``low_frac * rate`` for the rest.
+
+Everything is a pure function of ``(kind, rate, period_s, low_frac,
+duty, seed)``: the same profile always yields the same due offsets, so
+profiled runs are as reproducible as flat ones.  Idle troughs
+(``low_frac = 0``) are clamped to a trickle rather than a stall, and the
+load reports stay NaN-safe when a phase serves nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import cos, pi
+
+import numpy as np
+
+from repro.errors import ServiceConfigError
+
+__all__ = ["PROFILE_KINDS", "RateProfile"]
+
+PROFILE_KINDS = ("constant", "diurnal", "burst", "step")
+
+#: Troughs never stall the generator outright: an idle phase trickles at
+#: this floor so the run always terminates.
+_MIN_RATE = 1e-3
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """A deterministic request-rate shape ``rate_at(t)``."""
+
+    kind: str = "constant"
+    rate: float = 100_000.0
+    period_s: float = 1.0
+    low_frac: float = 0.1
+    duty: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROFILE_KINDS:
+            raise ServiceConfigError(
+                f"profile kind must be one of {PROFILE_KINDS}, "
+                f"got {self.kind!r}")
+        if self.rate <= 0:
+            raise ServiceConfigError(f"rate must be > 0, got {self.rate}")
+        if self.period_s <= 0:
+            raise ServiceConfigError(
+                f"period_s must be > 0, got {self.period_s}")
+        if not 0.0 <= self.low_frac <= 1.0:
+            raise ServiceConfigError(
+                f"low_frac must be in [0, 1], got {self.low_frac}")
+        if not 0.0 < self.duty <= 1.0:
+            raise ServiceConfigError(
+                f"duty must be in (0, 1], got {self.duty}")
+
+    # -- the shape ---------------------------------------------------------
+    def rate_at(self, t: float) -> float:
+        """Offered request rate at ``t`` seconds into the run."""
+        low = self.low_frac * self.rate
+        if self.kind == "constant":
+            r = self.rate
+        elif self.kind == "diurnal":
+            phase = 0.5 - 0.5 * cos(2.0 * pi * t / self.period_s)
+            r = low + (self.rate - low) * phase
+        elif self.kind == "step":
+            r = self.rate if (t % self.period_s) < self.duty * self.period_s \
+                else low
+        else:  # burst
+            k = int(t // self.period_s)
+            start = self._burst_start(k)
+            offset = t - k * self.period_s
+            in_burst = start <= offset < start + self.duty * self.period_s
+            r = self.rate if in_burst else low
+        return max(r, _MIN_RATE)
+
+    def _burst_start(self, period_index: int) -> float:
+        """Seeded position of period ``k``'s burst window (pure in k)."""
+        rng = np.random.default_rng((self.seed, period_index))
+        return float(rng.uniform(0.0, (1.0 - self.duty) * self.period_s))
+
+    # -- pacing ------------------------------------------------------------
+    def due_offsets(self, n_batches: int, batch_size: int) -> np.ndarray:
+        """Due time of each batch, in seconds from the run's start.
+
+        Batch ``i + 1`` is due ``batch_size / rate_at(due_i)`` after
+        batch ``i`` — the discrete open-loop integration of the shape.
+        """
+        if n_batches < 0:
+            raise ValueError(f"n_batches must be >= 0, got {n_batches}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        offsets = np.empty(n_batches, dtype=np.float64)
+        t = 0.0
+        for i in range(n_batches):
+            offsets[i] = t
+            t += batch_size / self.rate_at(t)
+        return offsets
+
+    def mean_rate(self, n_requests: int, batch_size: int) -> float:
+        """Offered requests/second averaged over the whole run."""
+        if n_requests <= 0:
+            return 0.0
+        n_batches = -(-n_requests // batch_size)
+        offsets = self.due_offsets(n_batches, batch_size)
+        last_span = batch_size / self.rate_at(float(offsets[-1]))
+        return n_requests / float(offsets[-1] + last_span)
+
+    def __str__(self) -> str:
+        return (f"{self.kind}(rate={self.rate:g}, period={self.period_s:g}s, "
+                f"low={self.low_frac:g}, duty={self.duty:g}, "
+                f"seed={self.seed})")

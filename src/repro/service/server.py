@@ -175,6 +175,16 @@ class PagingService:
         self._m_queue_depth = self.registry.gauge(
             "repro_queue_depth", "Pending batches per shard queue", ("shard",)
         )
+        # Per-shard children cached once: the queue-depth gauge is now
+        # updated continuously on the ingest/serve hot paths (the control
+        # plane's primary signal), not only on snapshot().
+        self._m_qdepth = [self._m_queue_depth.labels(str(i))
+                          for i in range(config.n_shards)]
+        self._m_queue_cap = self.registry.gauge(
+            "repro_queue_capacity",
+            "Effective per-shard queue limit (config depth or the "
+            "controller's soft shed threshold)")
+        self._m_queue_cap.set(config.queue_depth)
         self._m_checkpoints = self.registry.counter(
             "repro_checkpoints_total", "Shard checkpoints taken", ("shard",)
         )
@@ -214,6 +224,8 @@ class PagingService:
         self._rt_lock = threading.Lock()
         self._n_overloaded = 0
         self._n_batches = 0
+        self._soft_queue_limit: int | None = None
+        self._recorder = None
         self._errors: list[BaseException] = []
         self._lock = threading.Lock()
         self._inflight = 0
@@ -408,11 +420,14 @@ class PagingService:
                     )
                 ticket = BatchTicket(len(parts), int(pages.size))
                 for shard, p, lv in parts:
+                    if self._recorder is not None:
+                        self._recorder.record(shard, p, lv)
                     self._serve_part(shard, self.engines[shard], p, lv,
                                      queue_ctxs.get(shard), t)
                     ticket.part_done()
                 self._n_batches += 1
                 return ticket
+            limit = self._soft_queue_limit
             with self._lock:
                 for shard, _, _ in parts:
                     state = self._states[shard]
@@ -423,10 +438,12 @@ class PagingService:
                             f"shard worker failed: {state.fail_error!r}"
                         ) from state.fail_error
                 for shard, _, _ in parts:
-                    if self._queues[shard].full():
+                    q = self._queues[shard]
+                    if q.full() or (limit is not None
+                                    and q.qsize() >= limit):
                         self._n_overloaded += 1
                         self._m_overloaded.inc()
-                        return Overloaded(shard, self.config.queue_depth)
+                        return Overloaded(shard, self.queue_limit)
                 ticket = BatchTicket(len(parts), int(pages.size))
                 self._inflight += len(parts)
                 for shard, p, lv in parts:
@@ -434,8 +451,11 @@ class PagingService:
                     state.next_seq += 1
                     part = _Part(state.next_seq, ticket, p, lv,
                                  queue_ctxs.get(shard), t)
+                    if self._recorder is not None:
+                        self._recorder.record(shard, p, lv)
                     state.log.append(part)
                     self._queues[shard].put(part)
+                    self._m_qdepth[shard].set(self._queues[shard].qsize())
                 self._n_batches += 1
             return ticket
 
@@ -574,6 +594,7 @@ class PagingService:
     def _process_one(self, state: _ShardState, engine: ShardEngine,
                      part: _Part) -> None:
         """Apply one logged part: faults, serve, complete, checkpoint."""
+        self._m_qdepth[state.shard].set(self._queues[state.shard].qsize())
         if self._plan is not None:
             t_last = engine.n_requests + int(part.pages.size) - 1
             spec = self._plan.poll(state.shard, t_last)
@@ -772,6 +793,47 @@ class PagingService:
             raise ServiceStateError(
                 f"shard worker failed: {exc!r}"
             ) from exc
+
+    # -- admission actuators ----------------------------------------------
+    @property
+    def queue_limit(self) -> int:
+        """The effective per-shard queue cap batches are admitted under."""
+        if self._soft_queue_limit is None:
+            return self.config.queue_depth
+        return min(self._soft_queue_limit, self.config.queue_depth)
+
+    def set_queue_limit(self, limit: int | None) -> int:
+        """Set (or clear) the soft shed threshold; returns the new cap.
+
+        The control plane's service-side actuator: batches targeting a
+        shard whose queue already holds ``limit`` entries are rejected
+        ``Overloaded`` *before* the physical ``queue_depth`` is reached,
+        so backpressure engages earlier under overload and relaxes back
+        without touching the (fixed-size) queues themselves.  ``None``
+        restores the configured depth.  Thread-safe; takes effect on the
+        next submission.
+        """
+        if limit is not None:
+            limit = int(limit)
+            if limit < 1:
+                raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self._soft_queue_limit = limit
+        effective = self.queue_limit
+        self._m_queue_cap.set(effective)
+        return effective
+
+    def attach_recorder(self, recorder) -> None:
+        """Record every admitted shard slice into ``recorder``.
+
+        ``recorder`` needs one method — ``record(shard, pages, levels)``
+        — called in per-shard arrival order (the order the engines serve),
+        once per admitted slice: rejected submissions never reach it and
+        recovery replay does not re-enter the ingest path, so the recorded
+        streams are exactly what the live run served.  See
+        :class:`repro.control.ExperienceRecorder`.  Pass ``None`` to
+        detach.
+        """
+        self._recorder = recorder
 
     # -- observability -----------------------------------------------------
     @property

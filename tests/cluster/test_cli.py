@@ -115,6 +115,32 @@ class TestClusterProxyProcess:
         assert "2 migration(s)" in out
         assert "Traceback" not in out
 
+    def test_drain_empties_one_backend(self, two_backends, capsys):
+        procs, (addr1, addr2) = two_backends
+        proxy_proc = spawn("cluster", "proxy", "--listen", "127.0.0.1:0",
+                           "--backends", f"{addr1},{addr2}")
+        try:
+            proxy = wait_for_address(proxy_proc, "proxy")
+            assert main(["cluster", "drain", addr2, "--proxy", proxy]) == 0
+            out = capsys.readouterr().out
+            assert "drained 2 shard(s)" in out
+            with PagingClient(proxy, timeout=15.0) as client:
+                status = client.cluster_status()
+                # Everything on addr1; traffic still flows.
+                assert set(status["assignment"]) == {addr1}
+                assert client.submit_batch(range(64)).ok
+                assert client.drain(15.0)
+            # Draining a backend that owns nothing is an error (it is no
+            # longer in the map), as is draining the last backend.
+            assert main(["cluster", "drain", addr2,
+                         "--proxy", proxy]) == 2
+            assert main(["cluster", "drain", addr1,
+                         "--proxy", proxy]) == 2
+        finally:
+            out = terminate(proxy_proc)
+        assert proxy_proc.returncode == 0, out
+        assert "Traceback" not in out
+
     def test_proxy_infers_shard_count_from_backend(self, two_backends):
         procs, (addr1, addr2) = two_backends
         proxy_proc = spawn("cluster", "proxy", "--listen", "127.0.0.1:0",

@@ -1,0 +1,120 @@
+"""Rate profiles: deterministic time-varying pacing for the load gens."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import WeightedPagingInstance
+from repro.errors import ServiceConfigError
+from repro.service import (
+    PagingService,
+    RateProfile,
+    ServiceConfig,
+    run_load,
+)
+from repro.workloads import sample_weights, zipf_stream
+
+
+def make_service(**overrides):
+    inst = WeightedPagingInstance(8, sample_weights(64, rng=0))
+    kwargs = dict(n_shards=2, batch_size=64, seed=0, backend="inline")
+    kwargs.update(overrides)
+    return PagingService(ServiceConfig.from_policy_name(
+        "waterfilling", inst, **kwargs))
+
+
+class TestRateProfileShapes:
+    def test_constant_profile_is_flat(self):
+        p = RateProfile(kind="constant", rate=1000.0)
+        assert all(p.rate_at(t) == 1000.0 for t in (0.0, 0.3, 7.9))
+
+    def test_diurnal_sweeps_between_trough_and_peak(self):
+        p = RateProfile(kind="diurnal", rate=1000.0, period_s=2.0,
+                        low_frac=0.1)
+        assert p.rate_at(0.0) == pytest.approx(100.0)
+        assert p.rate_at(1.0) == pytest.approx(1000.0)
+        for t in np.linspace(0.0, 4.0, 33):
+            assert 100.0 - 1e-9 <= p.rate_at(t) <= 1000.0 + 1e-9
+
+    def test_step_duty_cycle(self):
+        p = RateProfile(kind="step", rate=1000.0, period_s=1.0,
+                        low_frac=0.2, duty=0.25)
+        assert p.rate_at(0.1) == 1000.0
+        assert p.rate_at(0.26) == pytest.approx(200.0)
+        assert p.rate_at(1.1) == 1000.0  # periodic
+
+    def test_burst_window_stays_inside_period(self):
+        p = RateProfile(kind="burst", rate=1000.0, period_s=1.0,
+                        duty=0.25, seed=3)
+        for k in range(20):
+            high = [t for t in np.linspace(k, k + 1, 101, endpoint=False)
+                    if p.rate_at(float(t)) > 500.0]
+            # Exactly one contiguous high window of ~duty * period.
+            assert 20 <= len(high) <= 27
+
+    def test_validation(self):
+        with pytest.raises(ServiceConfigError):
+            RateProfile(kind="tidal")
+        with pytest.raises(ServiceConfigError):
+            RateProfile(rate=0.0)
+        with pytest.raises(ServiceConfigError):
+            RateProfile(period_s=-1.0)
+        with pytest.raises(ServiceConfigError):
+            RateProfile(low_frac=1.5)
+        with pytest.raises(ServiceConfigError):
+            RateProfile(duty=0.0)
+
+
+class TestDueOffsets:
+    def test_same_seed_same_offsets(self):
+        p = RateProfile(kind="burst", rate=5000.0, period_s=0.5, seed=9)
+        assert np.array_equal(p.due_offsets(200, 64), p.due_offsets(200, 64))
+
+    def test_different_seed_different_offsets(self):
+        a = RateProfile(kind="burst", rate=5000.0, period_s=0.5, seed=1)
+        b = RateProfile(kind="burst", rate=5000.0, period_s=0.5, seed=2)
+        assert not np.array_equal(a.due_offsets(200, 64),
+                                  b.due_offsets(200, 64))
+
+    def test_offsets_strictly_increase(self):
+        for kind in ("constant", "diurnal", "burst", "step"):
+            p = RateProfile(kind=kind, rate=2000.0, period_s=0.25, seed=0)
+            offsets = p.due_offsets(100, 32)
+            assert offsets.shape == (100,)
+            assert np.all(np.diff(offsets) > 0)
+
+    def test_constant_matches_fixed_rate_pacing(self):
+        p = RateProfile(kind="constant", rate=1000.0)
+        offsets = p.due_offsets(10, 50)
+        assert offsets == pytest.approx(
+            [i * 50 / 1000.0 for i in range(10)])
+        assert p.mean_rate(500, 50) == pytest.approx(1000.0)
+
+
+class TestRunLoadWithProfile:
+    def test_profiled_load_serves_everything(self):
+        svc = make_service()
+        seq = zipf_stream(64, 2000, rng=0)
+        profile = RateProfile(kind="diurnal", rate=200_000.0, period_s=0.05)
+        with svc:
+            report = run_load(svc, seq, rate=1.0, batch_size=64,
+                              profile=profile)
+        assert report.n_served == 2000
+        assert report.n_dropped_batches == 0
+        # The report's target reflects the profile, not the ignored rate.
+        assert report.target_rate == pytest.approx(
+            profile.mean_rate(2000, 64))
+
+    def test_profiled_report_is_nan_safe_when_everything_sheds(self):
+        svc = make_service(queue_depth=1, backend="thread")
+        svc.set_queue_limit(1)
+        seq = zipf_stream(64, 3000, rng=1)
+        profile = RateProfile(kind="burst", rate=5e6, period_s=0.01,
+                              duty=0.9, low_frac=0.5, seed=2)
+        with svc:
+            report = run_load(svc, seq, rate=1.0, batch_size=8,
+                              max_retries=0, on_overload="shed",
+                              profile=profile)
+        render = report.render()
+        assert "nan" not in render.lower() or report.n_served == 0
+        assert report.n_served + 8 * report.n_dropped_batches \
+            + report.n_failed_batches * 8 >= 0  # never raises
