@@ -55,6 +55,24 @@ def emit(table: Table, name: str, extra: dict | None = None) -> Table:
     return table
 
 
+def opt_bound_payload(bound) -> dict:
+    """JSON-able summary of a :class:`repro.offline.bounds.OptBound`.
+
+    Every E-series bench that reports ``competitive_ratio`` columns also
+    records *what it divided by* — the bound's value, the method that
+    produced it (``dp`` / ``sparse-lp`` / ``dense-lp``), and the raw LP
+    value / rounded upper bound when an LP was involved — so a ratio in
+    an artifact is auditable without re-running the solver.
+    """
+    payload = {"value": bound.value, "method": bound.method,
+               "exact": bound.exact}
+    if bound.lp_value is not None:
+        payload["lp_value"] = bound.lp_value
+    if bound.upper is not None:
+        payload["upper"] = bound.upper
+    return payload
+
+
 def _headline(payload: dict) -> dict:
     """Per-bench headline: the title plus every scalar top-level metric.
 

@@ -108,6 +108,58 @@ def test_throughput_tracing_disabled_overhead(workload, tmp_path):
     )
 
 
+def test_competitive_ratio_artifact(benchmark, workload):
+    """Emit the E10 JSON artifact with ``competitive_ratio`` columns.
+
+    The other tests here are raw pytest-benchmark timings; this one
+    anchors them to the paper's actual quantity: every policy's cost
+    divided by a certified OPT lower bound.  At n=400 the exact DP is
+    infeasible, so the bound comes from the sparse interval LP
+    (:mod:`repro.offline.scale`) — the E10 shape is exactly what the
+    dense time-indexed LP could not solve.
+    """
+    from repro.analysis import Table, competitive_ratio
+    from repro.offline import best_opt_bound
+
+    from _util import emit, once, opt_bound_payload
+
+    inst, seq = workload
+
+    def run():
+        bound = best_opt_bound(inst, seq)
+        table = Table(
+            ["policy", "cost", "competitive_ratio"],
+            title=f"E10: cost / OPT-bound (n={N_PAGES}, k={K}, "
+                  f"T={STREAM_LEN}, bound via {bound.method})",
+        )
+        ratios: dict[str, float] = {}
+        for factory in (LRUPolicy, WaterFillingPolicy,
+                        HeapWaterFillingPolicy,
+                        RandomizedWeightedPagingPolicy):
+            cost = simulate(inst, seq, factory(), seed=0,
+                            validate=False).cost
+            ratio = competitive_ratio(cost, bound.value)
+            ratios[factory.name] = ratio
+            table.add_row(factory.name, cost, ratio)
+        extra = {
+            "opt_bound": opt_bound_payload(bound),
+            "opt_bound_method": bound.method,
+            "competitive_ratios": ratios,
+            "min_competitive_ratio": min(ratios.values()),
+            "max_competitive_ratio": max(ratios.values()),
+        }
+        return table, extra
+
+    table, extra = once(benchmark, run)
+    emit(table, "e10_throughput", extra=extra)
+    # The DP cannot touch this shape; the sparse LP must carry the bound.
+    assert extra["opt_bound_method"] == "sparse-lp"
+    for ratio in extra["competitive_ratios"].values():
+        # l = 1: LP <= OPT <= any online cost, so ratios are >= 1, and a
+        # degenerate bound would now surface as inf rather than 1e12.
+        assert 1.0 - 1e-6 <= ratio < float("inf")
+
+
 def test_throughput_stack_distances(benchmark, workload):
     from repro.sim import stack_distances
 

@@ -31,7 +31,7 @@ from repro.workloads import (
     zipf_stream,
 )
 
-from _util import emit, once
+from _util import emit, once, opt_bound_payload
 
 SEEDS = 5
 
@@ -52,14 +52,16 @@ def _workloads():
     ]
 
 
-def run_experiment() -> tuple[Table, dict[str, dict[str, float]]]:
+def run_experiment() -> tuple[Table, dict[str, dict[str, float]], dict]:
     table = Table(
         ["workload", "policy", "cost (mean)", "ratio vs OPT"],
         title="E5: weighted paging, paper's randomized vs baselines",
     )
     ratios: dict[str, dict[str, float]] = {}
+    opt_bounds: dict[str, dict] = {}
     for name, inst, seq in _workloads():
         opt = best_opt_bound(inst, seq, max_states=15000)
+        opt_bounds[name] = opt_bound_payload(opt)
         ratios[name] = {}
         for factory in [LRUPolicy, RandomizedMarkingPolicy, LandlordPolicy,
                         WaterFillingPolicy, RandomizedWeightedPagingPolicy]:
@@ -70,12 +72,26 @@ def run_experiment() -> tuple[Table, dict[str, dict[str, float]]]:
             ratio = competitive_ratio(mean, opt.value)
             ratios[name][factory.name] = ratio
             table.add_row(name, factory.name, mean, ratio)
-    return table, ratios
+    all_ratios = [r for per in ratios.values() for r in per.values()]
+    extra = {
+        "opt_bounds": opt_bounds,
+        "competitive_ratios": ratios,
+        "min_competitive_ratio": min(all_ratios),
+        "max_competitive_ratio": max(all_ratios),
+        "opt_bound_methods": ",".join(
+            sorted({b["method"] for b in opt_bounds.values()})),
+    }
+    return table, ratios, extra
 
 
 def test_e5_weighted_paging(benchmark):
-    table, ratios = once(benchmark, run_experiment)
-    emit(table, "e5_weighted_paging")
+    table, ratios, extra = once(benchmark, run_experiment)
+    emit(table, "e5_weighted_paging", extra=extra)
+    # Every ratio is measured against a genuine lower bound, so none may
+    # dip below 1 (and a zero bound would now surface as inf, not 5e12).
+    for per_workload in ratios.values():
+        for ratio in per_workload.values():
+            assert 1.0 - 1e-6 <= ratio < float("inf")
     adv = ratios["phase adversary"]
     # Weight-aware policies crush LRU on the weighted adversary...
     assert adv["landlord"] < 0.67 * adv["lru"]
@@ -90,4 +106,5 @@ def test_e5_weighted_paging(benchmark):
 
 
 if __name__ == "__main__":
-    emit(run_experiment()[0], "e5_weighted_paging")
+    _t, _r, _x = run_experiment()
+    emit(_t, "e5_weighted_paging", extra=_x)

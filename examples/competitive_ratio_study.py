@@ -59,8 +59,7 @@ def main() -> None:
 
     for name, ratios in series.items():
         fit = fit_growth(KS, ratios)
-        print(f"{name:22s} best growth shape: {fit.best_shape:9s} "
-              f"(coef {fit.coefficient(fit.best_shape):.2f})")
+        print(f"{name:22s} best growth shape: {fit.summary()}")
 
 
 if __name__ == "__main__":

@@ -20,16 +20,24 @@ __all__ = ["competitive_ratio", "GrowthFit", "fit_growth"]
 
 def competitive_ratio(online_cost: float, opt_bound: float,
                       *, additive_slack: float = 0.0) -> float:
-    """``online / max(opt, eps)`` with an optional additive allowance.
+    """``online / opt`` with an optional additive allowance.
 
     Competitive analysis permits an additive constant; passing the
     instance's largest weight as ``additive_slack`` removes start-up
     artifacts on short sequences.
+
+    A zero OPT bound is a *signal*, not a denominator: dividing by an
+    epsilon would silently report an astronomically large "ratio" that
+    plots and gates then treat as data.  Instead a zero bound yields
+    ``math.inf`` when the (slack-adjusted) online cost is positive, and
+    ``1.0`` when it is also zero (both sides did nothing).
     """
     if online_cost < 0 or opt_bound < 0:
         raise ValueError("costs must be non-negative")
-    denom = max(opt_bound, 1e-12)
-    return max(online_cost - additive_slack, 0.0) / denom
+    numerator = max(online_cost - additive_slack, 0.0)
+    if opt_bound == 0.0:
+        return math.inf if numerator > 0.0 else 1.0
+    return numerator / opt_bound
 
 
 _SHAPES = {
@@ -52,18 +60,42 @@ class GrowthFit:
         """Least-squares scale for ``ratio ~ coef * shape(k)``."""
         return self.coefficients[shape]
 
+    @property
+    def best_residual(self) -> float:
+        """Relative RMS residual of the winning shape."""
+        return self.residuals[self.best_shape]
+
+    def summary(self) -> str:
+        """One-line fit report the benchmarks and examples print.
+
+        Shows the winning shape *with its residual* so a sloppy fit is
+        visible wherever the shape claim is, e.g.
+        ``log k (coef 1.70, rel. residual 0.031)``.
+        """
+        return (f"{self.best_shape} (coef "
+                f"{self.coefficient(self.best_shape):.3g}, rel. residual "
+                f"{self.best_residual:.3g})")
+
 
 def fit_growth(ks, ratios) -> GrowthFit:
     """Fit ``ratio ~ c * f(k)`` for each candidate ``f``; pick the best.
 
     Uses simple one-parameter least squares per shape and compares
-    relative residuals.  With few points this is indicative, not a
-    statistical test — the benchmarks print the full table alongside.
+    relative residuals.  Requires at least 3 points: with 1 every shape
+    fits exactly and with 2 the "winner" is an artifact of the candidate
+    set, so a "best shape" from fewer points is meaningless and raises.
+    Even at 3+ this is indicative, not a statistical test — the
+    benchmarks print the full table (and residuals) alongside.
     """
     k = np.asarray(ks, dtype=np.float64)
     r = np.asarray(ratios, dtype=np.float64)
-    if k.shape != r.shape or k.ndim != 1 or k.size < 2:
-        raise ValueError("need matching 1-d arrays with at least 2 points")
+    if k.shape != r.shape or k.ndim != 1:
+        raise ValueError("need matching 1-d arrays")
+    if k.size < 3:
+        raise ValueError(
+            f"growth fitting needs at least 3 points, got {k.size}: a best "
+            "shape chosen from fewer is an artifact of the candidate set"
+        )
     coefficients: dict[str, float] = {}
     residuals: dict[str, float] = {}
     for name, f in _SHAPES.items():

@@ -30,6 +30,11 @@ Commands
 ``top``      live cluster status polled from a (federated) ``/metrics``
              endpoint: per-backend request rates, tail latency, queue
              depth, map epoch and in-flight migrations.
+``opt``      offline OPT bounds (:mod:`repro.offline.scale`): ``bound``
+             computes the certified sandwich ``LP/divisor <= OPT <=
+             rounded cost`` (exact DP when the state space fits) for a
+             generated workload or a recorded experience file, and can
+             turn an online cost into a competitive ratio.
 ``replay``   re-serve an experience file recorded with
              ``serve/loadgen --record`` (:mod:`repro.control`): ``run``
              reproduces the live cost ``==``-exactly (or replays an
@@ -81,6 +86,9 @@ Examples
     python -m repro loadgen --record run.npz --rate 50000
     python -m repro replay run run.npz
     python -m repro replay compare run.npz --policies lru,landlord
+    python -m repro opt bound --n-pages 8 --cache-size 3 --requests 400 \
+        --check
+    python -m repro opt bound run.npz --prefer sparse-lp --cost 1234.5
 """
 
 from __future__ import annotations
@@ -182,6 +190,48 @@ def _build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--repetitions", type=int, default=4)
     lb.add_argument("--policy", default="landlord")
     lb.add_argument("--seed", type=int, default=0)
+
+    opt = sub.add_parser(
+        "opt", help="offline OPT bounds: DP / sparse-LP / rounding sandwich"
+    )
+    opt_sub = opt.add_subparsers(dest="opt_command", required=True)
+    ob = opt_sub.add_parser(
+        "bound",
+        help="certified lower/upper bounds on the offline optimum",
+    )
+    ob.add_argument("experience", nargs="?", default=None,
+                    help="experience file (.npz/.jsonl recorded with "
+                         "serve/loadgen --record); omitted: generate a "
+                         "workload from the flags below")
+    ob.add_argument("--n-pages", type=int, default=32)
+    ob.add_argument("--cache-size", type=int, default=8)
+    ob.add_argument("--levels", type=int, default=1)
+    ob.add_argument("--requests", type=int, default=2000)
+    ob.add_argument("--workload", choices=_WORKLOADS, default="zipf")
+    ob.add_argument("--alpha", type=float, default=0.9,
+                    help="Zipf skew (zipf/multilevel workloads)")
+    ob.add_argument("--weight-high", type=float, default=32.0,
+                    help="max page weight (log-uniform in [1, high])")
+    ob.add_argument("--master-seed", type=int, default=0)
+    ob.add_argument("--prefer",
+                    choices=("auto", "dp", "lp", "sparse-lp", "dense-lp"),
+                    default="auto",
+                    help="bound method (auto: DP when feasible, else "
+                         "sparse LP)")
+    ob.add_argument("--max-states", type=int, default=20_000,
+                    help="exact-DP state budget before the LP takes over")
+    ob.add_argument("--thresholds", default=None, metavar="T1,T2,...",
+                    help="rounding thresholds (default 0.1..0.9)")
+    ob.add_argument("--no-round", action="store_true",
+                    help="skip the threshold-rounding upper bound")
+    ob.add_argument("--cost", type=float, default=None,
+                    help="an online cost to report as a competitive "
+                         "ratio against the lower bound")
+    ob.add_argument("--check", action="store_true",
+                    help="exit non-zero unless the computed bounds "
+                         "sandwich consistently (DP within divisor of "
+                         "the LP bound, rounded cost above both)")
+    ob.add_argument("--csv", action="store_true", help="emit CSV")
 
     report = sub.add_parser(
         "report", help="consolidate benchmark artifacts into markdown"
@@ -727,6 +777,128 @@ def _cmd_lower_bound(args) -> int:
                       family.system.is_cover(cover, elems))
     print(table.render())
     print(f"total paging cost: {run.cost:.1f}")
+    return 0
+
+
+def _cmd_opt_bound(args) -> int:
+    """``opt bound``: the certified OPT sandwich for a workload/recording."""
+    from repro.errors import StateSpaceTooLargeError
+    from repro.offline import (
+        DEFAULT_THRESHOLDS,
+        fractional_offline_opt,
+        lp_divisor,
+        offline_opt_multilevel,
+        solve_sparse_lp,
+        threshold_round,
+    )
+
+    if args.experience:
+        from repro.control.experience import Experience
+        from repro.core.requests import RequestSequence
+
+        try:
+            exp = Experience.load(args.experience)
+        except (FileNotFoundError, OSError, KeyError, ValueError) as exc:
+            print(f"cannot load experience {args.experience!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        inst = exp.instance()
+        pages, levels = exp.merged()
+        seq = RequestSequence(pages, levels)
+        source = args.experience
+    else:
+        inst, seq = _make_workload(args)
+        source = f"{args.workload} workload"
+    thresholds = DEFAULT_THRESHOLDS
+    if args.thresholds:
+        try:
+            thresholds = tuple(
+                float(v) for v in args.thresholds.split(",") if v.strip()
+            )
+        except ValueError:
+            print(f"--thresholds must be comma-separated floats in (0, 1], "
+                  f"got {args.thresholds!r}", file=sys.stderr)
+            return 2
+        if not thresholds or any(not 0 < t <= 1 for t in thresholds):
+            print(f"--thresholds must be comma-separated floats in (0, 1], "
+                  f"got {args.thresholds!r}", file=sys.stderr)
+            return 2
+    divisor = lp_divisor(inst)
+
+    dp_value = None
+    if args.prefer in ("auto", "dp"):
+        try:
+            dp_value = offline_opt_multilevel(inst, seq,
+                                              max_states=args.max_states)
+        except StateSpaceTooLargeError as exc:
+            if args.prefer == "dp":
+                print(f"exact DP infeasible: {exc}", file=sys.stderr)
+                return 2
+    lp_value = None
+    lp_method = None
+    solution = None
+    if args.prefer == "dense-lp":
+        lp_value, lp_method = fractional_offline_opt(inst, seq), "dense-lp"
+    elif args.prefer != "dp":
+        solution = solve_sparse_lp(inst, seq)
+        lp_value, lp_method = solution.value, "sparse-lp"
+    sweep = None
+    if solution is not None and not args.no_round:
+        sweep = threshold_round(solution, thresholds)
+
+    lower = dp_value if dp_value is not None else lp_value / divisor
+    lower_method = "dp" if dp_value is not None else lp_method
+    upper = dp_value if dp_value is not None else (
+        sweep.cost if sweep is not None else None)
+
+    table = Table(["quantity", "value", "method"],
+                  title=f"OPT bounds: {inst.name} / {source} "
+                        f"(T={len(seq)})")
+    table.add_row("lower bound", lower, lower_method)
+    if dp_value is not None:
+        table.add_row("exact OPT (DP)", dp_value, "dp")
+    if lp_value is not None:
+        table.add_row("LP value", lp_value, lp_method)
+        table.add_row("LP divisor", divisor, "-")
+        table.add_row("LP lower bound", lp_value / divisor, lp_method)
+    if sweep is not None:
+        table.add_row("rounded upper bound", sweep.cost,
+                      f"threshold {sweep.best.threshold:g}")
+    if upper is not None:
+        table.add_row("sandwich width", upper / lower if lower > 0 else 1.0,
+                      "upper / lower")
+    if args.cost is not None:
+        table.add_row("competitive ratio", competitive_ratio(args.cost, lower),
+                      f"cost {args.cost:g} / lower bound")
+    print(table.to_csv() if args.csv else table.render())
+    if sweep is not None and not args.csv:
+        sweep_table = Table(["threshold", "rounded cost", "evictions"],
+                            title="rounding sweep")
+        for schedule in sweep.schedules:
+            sweep_table.add_row(schedule.threshold, schedule.cost,
+                                schedule.n_evictions)
+        print()
+        print(sweep_table.render())
+    if upper is not None:
+        print(f"\nsandwich: {lower:.3f} <= OPT <= {upper:.3f}")
+    if args.check:
+        tol = 1e-6 + 1e-9 * max(lower, 1.0)
+        failures = []
+        if dp_value is not None and lp_value is not None:
+            if lp_value / divisor > dp_value + tol:
+                failures.append("LP/divisor exceeds the exact DP")
+            if dp_value > lp_value * (1 + 1e-9) + tol:
+                failures.append("DP exceeds the raw LP value")
+        if sweep is not None:
+            if lp_value / divisor > sweep.cost + tol:
+                failures.append("rounded cost undercuts the LP bound")
+            if dp_value is not None and dp_value > sweep.cost + tol:
+                failures.append("rounded cost undercuts the exact DP")
+        if failures:
+            for failure in failures:
+                print(f"sandwich check FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("sandwich check: OK")
     return 0
 
 
@@ -1566,6 +1738,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "opt":
+        return _cmd_opt_bound(args)
     if args.command == "replay":
         return _cmd_replay(args)
     if args.command == "top":

@@ -1,4 +1,4 @@
-"""Offline optima: LP relaxation, exact DP, Belady, bound selection."""
+"""Offline optima: LP relaxations, exact DP, Belady, bound selection."""
 
 from repro.offline.belady import belady_cost, next_use_indices
 from repro.offline.bounds import OptBound, best_opt_bound, lp_divisor
@@ -14,6 +14,18 @@ from repro.offline.lp import (
     OfflineLPResult,
     fractional_offline_opt,
     solve_offline_lp,
+)
+from repro.offline.scale import (
+    DEFAULT_THRESHOLDS,
+    OptSandwich,
+    RoundedSchedule,
+    SparseLPResult,
+    ThresholdRoundingResult,
+    opt_sandwich,
+    round_at,
+    solve_sparse_lp,
+    sparse_fractional_opt,
+    threshold_round,
 )
 
 __all__ = [
@@ -32,4 +44,14 @@ __all__ = [
     "offline_opt_multilevel_trace",
     "IntervalLPResult",
     "solve_interval_lp",
+    "DEFAULT_THRESHOLDS",
+    "OptSandwich",
+    "RoundedSchedule",
+    "SparseLPResult",
+    "ThresholdRoundingResult",
+    "opt_sandwich",
+    "round_at",
+    "solve_sparse_lp",
+    "sparse_fractional_opt",
+    "threshold_round",
 ]

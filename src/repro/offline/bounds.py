@@ -1,15 +1,19 @@
 """Choosing the strongest available lower bound on the offline optimum.
 
 Competitive ratios are measured against a *lower bound* on OPT so that the
-reported ratio is an upper bound on the true one.  Two bounds are
-available:
+reported ratio is an upper bound on the true one.  Three bounds are
+available, tried in order under ``prefer="auto"``:
 
 * the exact DP (:mod:`repro.offline.dp`) — equals OPT, but only feasible
   for small state spaces;
-* the LP relaxation (:mod:`repro.offline.lp`) — always feasible, but its
-  z-accounting over-charges integral solutions of multi-level instances
-  by up to a factor 2 (geometric weights) or ``l`` (general), so the bound
-  on the eviction-cost OPT is ``LP / divisor``.
+* the sparse interval LP (:mod:`repro.offline.scale`) — scales to streams
+  of hundreds of thousands of requests;
+* the dense time-indexed LP (:mod:`repro.offline.lp`) — the reference
+  formulation, kept as a last resort (same optimum, vastly bigger matrix).
+
+Both LPs share a z-accounting that over-charges integral solutions of
+multi-level instances by up to a factor 2 (geometric weights) or ``l``
+(general), so the bound on the eviction-cost OPT is ``LP / divisor``.
 """
 
 from __future__ import annotations
@@ -18,19 +22,29 @@ from dataclasses import dataclass
 
 from repro.core.instance import MultiLevelInstance
 from repro.core.requests import RequestSequence
-from repro.errors import StateSpaceTooLargeError
+from repro.errors import SolverError, StateSpaceTooLargeError
 from repro.offline.dp import DEFAULT_MAX_STATES, offline_opt_multilevel
 from repro.offline.lp import fractional_offline_opt
 
 __all__ = ["OptBound", "lp_divisor", "best_opt_bound"]
 
+_PREFERENCES = ("auto", "dp", "lp", "sparse-lp", "dense-lp")
+
 
 @dataclass(frozen=True)
 class OptBound:
-    """A lower bound on the integral offline optimum (eviction cost)."""
+    """A lower bound on the integral offline optimum (eviction cost).
+
+    ``lp_value`` carries the raw (undivided) LP optimum when an LP
+    produced the bound; ``upper`` carries a rounded feasible schedule's
+    cost when the caller asked for the full sandwich — together
+    ``value <= OPT <= upper``.
+    """
 
     value: float
-    method: str  # "dp" (exact) or "lp" (relaxation / divisor applied)
+    method: str  # "dp" (exact), "sparse-lp", or "dense-lp"
+    lp_value: float | None = None
+    upper: float | None = None
 
     @property
     def exact(self) -> bool:
@@ -53,22 +67,60 @@ def best_opt_bound(
     *,
     max_states: int = DEFAULT_MAX_STATES,
     prefer: str = "auto",
+    with_upper: bool = False,
 ) -> OptBound:
     """Best available lower bound on the eviction-cost OPT of ``seq``.
 
     ``prefer`` may be ``"auto"`` (exact DP when the state space fits,
-    else LP), ``"dp"`` (raise if infeasible) or ``"lp"``.
+    else the sparse interval LP, else the dense LP), ``"dp"`` (raise if
+    infeasible), ``"sparse-lp"``, ``"dense-lp"``, or ``"lp"`` (the LP
+    path of ``auto``: sparse first, dense as fallback).
+
+    Only :class:`~repro.errors.StateSpaceTooLargeError` triggers the
+    DP -> LP fallback: any other failure (invalid sequence, solver
+    breakdown) propagates — retrying a different method would mask a
+    real defect.  LP solver failures are re-raised as
+    :class:`~repro.errors.SolverError` naming the instance.
+
+    With ``with_upper=True`` an LP-produced bound also threshold-rounds
+    the fractional solution (:func:`repro.offline.scale.threshold_round`)
+    and records the cheapest feasible integral cost in ``upper``; a DP
+    bound sets ``upper`` to its own (exact) value.
     """
-    if prefer not in ("auto", "dp", "lp"):
+    from repro.offline.scale import solve_sparse_lp, threshold_round
+
+    if prefer not in _PREFERENCES:
         raise ValueError(f"unknown preference {prefer!r}")
     if prefer in ("auto", "dp"):
         try:
-            return OptBound(
-                value=offline_opt_multilevel(instance, seq, max_states=max_states),
-                method="dp",
-            )
+            value = offline_opt_multilevel(instance, seq, max_states=max_states)
+            return OptBound(value=value, method="dp",
+                            upper=value if with_upper else None)
         except StateSpaceTooLargeError:
             if prefer == "dp":
                 raise
-    lp = fractional_offline_opt(instance, seq)
-    return OptBound(value=lp / lp_divisor(instance), method="lp")
+    divisor = lp_divisor(instance)
+    if prefer in ("auto", "lp", "sparse-lp"):
+        try:
+            solution = solve_sparse_lp(instance, seq)
+            upper = (threshold_round(solution).cost if with_upper else None)
+            return OptBound(value=solution.value / divisor, method="sparse-lp",
+                            lp_value=solution.value, upper=upper)
+        except SolverError as exc:
+            if prefer == "sparse-lp":
+                raise SolverError(
+                    f"sparse interval LP failed on instance "
+                    f"{instance.name!r}: {exc}"
+                ) from exc
+            # auto/lp: the dense formulation below is the last resort.
+    try:
+        lp = fractional_offline_opt(instance, seq)
+    except SolverError as exc:
+        raise SolverError(
+            f"offline LP failed on instance {instance.name!r}: {exc}"
+        ) from exc
+    upper = None
+    if with_upper:
+        upper = threshold_round(solve_sparse_lp(instance, seq)).cost
+    return OptBound(value=lp / divisor, method="dense-lp", lp_value=lp,
+                    upper=upper)

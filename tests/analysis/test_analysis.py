@@ -1,5 +1,7 @@
 """Tests for ratio computation, growth fitting, and tables."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,16 @@ class TestCompetitiveRatio:
 
     def test_zero_opt_guarded(self):
         assert competitive_ratio(5.0, 0.0) > 0
+
+    def test_zero_opt_is_infinite_not_astronomical(self):
+        # Regression: dividing by max(opt, 1e-12) used to report 5e12 as
+        # a "ratio" — a zero bound must be an unmistakable signal.
+        assert math.isinf(competitive_ratio(5.0, 0.0))
+
+    def test_zero_over_zero_is_one(self):
+        # Both sides did nothing: the schedules agree exactly.
+        assert competitive_ratio(0.0, 0.0) == 1.0
+        assert competitive_ratio(3.0, 0.0, additive_slack=5.0) == 1.0
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
@@ -57,6 +69,20 @@ class TestFitGrowth:
     def test_too_few_points_rejected(self):
         with pytest.raises(ValueError):
             fit_growth([2], [1.0])
+
+    def test_two_points_rejected(self):
+        # Regression: two points let every candidate shape "fit" and the
+        # winner is an artifact of the candidate set, not the data.
+        with pytest.raises(ValueError, match="at least 3 points"):
+            fit_growth([2, 4], [1.0, 2.0])
+
+    def test_residuals_surfaced(self):
+        ks = np.array([2, 4, 8, 16, 32, 64, 128])
+        fit = fit_growth(ks, 1.7 * np.log(ks))
+        assert fit.best_residual == fit.residuals[fit.best_shape]
+        assert fit.best_residual == pytest.approx(0.0, abs=1e-9)
+        summary = fit.summary()
+        assert "log k" in summary and "residual" in summary
 
 
 class TestTable:

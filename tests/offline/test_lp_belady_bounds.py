@@ -134,12 +134,14 @@ class TestBounds:
         assert bound.method == "dp"
         assert bound.exact
 
-    def test_auto_falls_back_to_lp(self):
+    def test_auto_falls_back_to_sparse_lp(self):
         inst = WeightedPagingInstance.uniform(30, 5)
         seq = zipf_stream(30, 30, rng=0)
         bound = best_opt_bound(inst, seq, max_states=100)
-        assert bound.method == "lp"
+        assert bound.method == "sparse-lp"
         assert not bound.exact
+        assert bound.lp_value is not None
+        assert bound.value == pytest.approx(bound.lp_value)  # l = 1 divisor
 
     def test_dp_preference_raises_when_infeasible(self):
         from repro.errors import StateSpaceTooLargeError

@@ -277,3 +277,73 @@ class TestServeObservability:
         ])
         assert rc == 0
         assert "metrics exposed at" in capsys.readouterr().out
+
+
+class TestOptBoundCommand:
+    def test_sandwich_on_dp_feasible_instance(self, capsys):
+        rc = main([
+            "opt", "bound", "--n-pages", "6", "--cache-size", "2",
+            "--requests", "120", "--check",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out
+        assert "exact OPT (DP)" in out
+        assert "rounding sweep" in out
+        assert "sandwich check: OK" in out
+
+    def test_sparse_lp_preference_skips_dp(self, capsys):
+        rc = main([
+            "opt", "bound", "--n-pages", "20", "--cache-size", "5",
+            "--requests", "200", "--prefer", "sparse-lp", "--check",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sparse-lp" in out
+        assert "exact OPT (DP)" not in out
+        assert "sandwich check: OK" in out
+
+    def test_competitive_ratio_row(self, capsys):
+        rc = main([
+            "opt", "bound", "--n-pages", "6", "--cache-size", "2",
+            "--requests", "100", "--cost", "500", "--no-round",
+        ])
+        assert rc == 0
+        assert "competitive ratio" in capsys.readouterr().out
+
+    def test_multilevel_sandwich(self, capsys):
+        rc = main([
+            "opt", "bound", "--workload", "multilevel", "--levels", "2",
+            "--n-pages", "5", "--cache-size", "2", "--requests", "100",
+            "--check",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LP divisor" in out
+        assert "sandwich check: OK" in out
+
+    def test_experience_file_input(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.control.experience import Experience
+
+        exp = Experience(
+            meta={"cache_size": 2, "batch_size": 4, "n_shards": 1},
+            weights=np.array([[3.0], [1.0], [2.0], [5.0]]),
+            shards=[(np.array([0, 1, 2, 3, 0, 1, 3, 2], dtype=np.int64),
+                     np.ones(8, dtype=np.int64))],
+        )
+        path = exp.save(tmp_path / "run.npz")
+        rc = main(["opt", "bound", str(path), "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run.npz" in out
+        assert "sandwich check: OK" in out
+
+    def test_dp_preference_infeasible_exits_2(self, capsys):
+        rc = main([
+            "opt", "bound", "--n-pages", "40", "--cache-size", "8",
+            "--requests", "100", "--prefer", "dp", "--max-states", "10",
+        ])
+        assert rc == 2
+        assert "infeasible" in capsys.readouterr().err
